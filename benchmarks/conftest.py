@@ -1,0 +1,24 @@
+"""Benchmark fixtures: each bench regenerates one paper artefact.
+
+Benchmarks run the experiment harnesses once (``pedantic`` mode - the
+simulations are deterministic, so repeated rounds only measure Python
+overhead), print the reproduced table next to the paper's numbers, and
+save the artifact-style ``out_*.txt`` under ``reports/``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run an experiment function once under pytest-benchmark and report."""
+
+    def _run(fn, rounds: int = 1):
+        table = benchmark.pedantic(fn, rounds=rounds, iterations=1)
+        table.save("reports")
+        with capsys.disabled():
+            print()
+            print(table.to_text())
+        return table
+
+    return _run

@@ -1,0 +1,97 @@
+"""Ablation benches: each design choice of GPM, isolated.
+
+These are extensions beyond the paper's figures: HCL's striping (Fig. 5),
+the hardware coalescer's contribution, the cost/benefit of disabling DDIO,
+HCL entry-size scaling, the Section 4.3 binomial counter-example, and the
+Section 3.3 CXL projection.
+"""
+
+from repro.experiments import (
+    binomial_counter_example,
+    ddio_ablation,
+    hcl_striping_ablation,
+    log_entry_size_sweep,
+    warp_coalescing_ablation,
+)
+from repro.extensions import cxl_projection
+
+
+def test_ablation_striping(regenerate):
+    table = regenerate(hcl_striping_ablation)
+    assert table.lookup("striped (Fig. 5)", "speedup_vs_unstriped") > 3
+
+
+def test_ablation_coalescing(regenerate):
+    table = regenerate(warp_coalescing_ablation)
+    assert table.column("slowdown_vs_coalesced")[1] > 3
+
+
+def test_ablation_ddio(regenerate):
+    table = regenerate(ddio_ablation)
+    assert table.rows[1][3] is True  # the window buys durability
+
+
+def test_ablation_entry_size(regenerate):
+    table = regenerate(log_entry_size_sweep)
+    per_stripe = table.column("us_per_stripe")
+    assert per_stripe[-1] < per_stripe[0]
+
+
+def test_ablation_binomial(regenerate):
+    table = regenerate(binomial_counter_example)
+    assert table.lookup("gpKVS", "gpm_vs_capfs") > \
+        table.lookup("binomial options", "gpm_vs_capfs")
+
+
+def test_cxl_projection(regenerate):
+    table = regenerate(cxl_projection)
+    assert table.rows[-1][3] > 1.5  # persist plateau lifts under CXL
+
+
+def test_sensitivity_sweep(regenerate):
+    from repro.experiments import sensitivity_sweep
+
+    table = regenerate(sensitivity_sweep)
+    penalty_rows = [r for r in table.rows if r[0] == "pm_random_penalty"]
+    assert penalty_rows[0][4] > penalty_rows[-1][4]  # better PM -> bigger win
+
+
+def test_persistence_profile(regenerate):
+    from repro.experiments import persistence_profile
+
+    table = regenerate(persistence_profile)
+    fences_per_kb = {row[0]: row[2] for row in table.rows}
+    assert fences_per_kb["gpKVS"] > 100 * fences_per_kb["DNN"]
+
+
+def test_multi_gpu_scaling(regenerate):
+    from repro.experiments import multi_gpu_scaling
+
+    table = regenerate(multi_gpu_scaling)
+    assert table.rows[1][2] > 1.8       # 2 GPUs nearly double
+    assert table.rows[-1][1] <= 12.6    # Optane media ceiling
+
+
+def test_delta_checkpoint(regenerate):
+    from repro.extensions import delta_vs_full
+
+    table = regenerate(delta_vs_full)
+    speedups = table.column("delta_speedup")
+    assert speedups[0] > 2 and speedups[0] > speedups[-1]
+
+
+def test_redo_vs_undo(regenerate):
+    from repro.extensions import redo_vs_undo
+
+    table = regenerate(redo_vs_undo)
+    undo = table.lookup("undo (libGPM default)", "commit_latency_us")
+    redo = table.lookup("redo (extension)", "commit_latency_us")
+    assert undo > 3 * redo
+
+
+def test_ycsb_skew(regenerate):
+    from repro.workloads.ycsb import ycsb_skew_sweep
+
+    table = regenerate(ycsb_skew_sweep)
+    speedups = table.column("gpm_speedup")
+    assert min(speedups) > 3  # skew-robust advantage

@@ -1,0 +1,21 @@
+"""Regenerate Figure 1: benefits of GPM over CPU with PM.
+
+Paper result (Fig. 1a): GPM-KVS outperforms Intel pmemKV / RocksDB-PM /
+MatrixKV by 2.7x / 5.8x / 3.1x on batched SETs.
+Paper result (Fig. 1b): GPM BFS / SRAD / PS beat multi-threaded CPU PM
+implementations by 27x / 19.2x / 2.8x.
+"""
+
+from repro.experiments import figure1a, figure1b
+
+
+def test_figure1a(regenerate):
+    table = regenerate(figure1a)
+    gpm = table.lookup("GPM-KVS", "throughput_mops")
+    for store in ("Intel PmemKV", "RocksDB-PM", "MatrixKV"):
+        assert gpm > table.lookup(store, "throughput_mops")
+
+
+def test_figure1b(regenerate):
+    table = regenerate(figure1b)
+    assert all(row[3] > 1.0 for row in table.rows)

@@ -1,0 +1,17 @@
+"""Regenerate Figure 10: GPM-NDP / GPM / GPM-eADR / CAP-eADR.
+
+Paper result: GPM beats GPM-NDP by up to 6x (direct persistence matters
+beyond direct access); eADR lifts GPM by up to 13x on ordering-heavy
+workloads; GPM-eADR beats CAP-eADR by 24x on average.
+"""
+
+from repro.experiments import eadr_summary, figure10
+
+
+def test_figure10(regenerate):
+    table = regenerate(figure10)
+    summary = eadr_summary(table)
+    print("summary:", {k: round(v, 2) for k, v in summary.items()})
+    assert summary["max_gpm_over_ndp"] > 2
+    assert summary["max_eadr_over_gpm"] > 1.5
+    assert summary["avg_gpm_eadr_over_cap_eadr"] > 2

@@ -1,0 +1,19 @@
+"""Regenerate Figure 11: HCL versus conventional distributed logging.
+
+Paper result (11a): HCL speeds up gpKVS by 3.3x and gpDB (U) by 6.1x.
+Paper result (11b): HCL's insert latency stays flat with thread count
+while the conventional log's grows; ~3.6x lower on average.
+"""
+
+from repro.experiments import figure11a, figure11b
+
+
+def test_figure11a(regenerate):
+    table = regenerate(figure11a)
+    assert all(row[3] > 2 for row in table.rows)
+
+
+def test_figure11b(regenerate):
+    table = regenerate(figure11b)
+    ratios = table.column("ratio")
+    assert min(ratios) > 1.5

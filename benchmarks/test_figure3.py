@@ -1,0 +1,16 @@
+"""Regenerate Figure 3: scaling of persistence with threads.
+
+Paper result: CPU persistence plateaus at 1.47x over one thread; GPU
+persistence scales to ~4x one CPU thread before the PCIe endpoint's
+bounded concurrency flattens it.
+"""
+
+from repro.experiments import figure3
+
+
+def test_figure3(regenerate):
+    table = regenerate(figure3)
+    cpu = [r[2] for r in table.rows if r[0] == "cpu"]
+    gpu = [r[2] for r in table.rows if r[0] == "gpu"]
+    assert max(cpu) < 1.5
+    assert max(gpu) > 3.5

@@ -1,0 +1,14 @@
+"""Regenerate Figure 9: CAP-mm / GPM / GPUfs speedups over CAP-fs.
+
+Paper result: GPM wins everywhere - gpKVS 7-8x, checkpointing 11-18x,
+BFS 85x; GPUfs runs only the coarse-grain workloads and is slower than
+CAP-fs (0.1-0.7x).
+"""
+
+from repro.experiments import figure9
+
+
+def test_figure9(regenerate):
+    table = regenerate(figure9)
+    assert all(row[2] > row[1] > 1.0 for row in table.rows)
+    assert table.lookup("BFS", "gpm") == max(row[2] for row in table.rows)

@@ -1,0 +1,14 @@
+"""Regenerate Table 4: write amplification of CAP over GPM.
+
+Paper result: gpKVS 39.38x, gpDB (I) 1.27x, gpDB (U) 19.88x; 1.0x for the
+checkpointing workloads.
+"""
+
+from repro.experiments import table4
+
+
+def test_table4(regenerate):
+    table = regenerate(table4)
+    assert table.lookup("gpKVS", "write_amplification") > 20
+    assert abs(table.lookup("gpDB (I)", "write_amplification") - 1.0) < 0.3
+    assert table.lookup("gpDB (U)", "write_amplification") > 10

@@ -1,0 +1,19 @@
+"""Regenerate the Section 6.1 in-text results.
+
+Paper result: checkpointing on GPM improves total execution time over CAP
+by 19%-122% depending on frequency (DNN: +61%/+40% at every 10th/20th
+pass); the CPU-only OpenMP gpDB port is 3.1x (INSERT) and 6.9x (UPDATE)
+slower than GPM.
+"""
+
+from repro.experiments import checkpoint_frequency, cpu_only_db
+
+
+def test_checkpoint_frequency(regenerate):
+    table = regenerate(checkpoint_frequency)
+    assert all(10 < row[4] < 200 for row in table.rows)
+
+
+def test_cpu_only_db(regenerate):
+    table = regenerate(cpu_only_db)
+    assert table.lookup("UPDATE", "speedup") > table.lookup("INSERT", "speedup") > 1

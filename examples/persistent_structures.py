@@ -1,0 +1,77 @@
+"""Building on libGPM: reusable crash-consistent data structures.
+
+Shows the adopter-facing layer of the library - `repro.pstruct`'s
+persistent hash map and append ring - plus the post-crash inspector that
+tells an operator what is durably on PM and whether recovery is needed.
+
+Run:  python examples/persistent_structures.py
+"""
+
+import numpy as np
+
+from repro import System
+from repro.core import format_survey
+from repro.core.persist import persist_window
+from repro.pstruct import PersistentHashMap, PersistentRing
+from repro.sim import CrashInjector, SimulatedCrash
+
+
+def ring_demo(system: System) -> None:
+    print("=== PersistentRing: multi-producer durable journal ===")
+    ring = PersistentRing.create(system, "/pm/journal", capacity=4096)
+
+    def producer(ctx, ring, n):
+        if ctx.global_id < n:
+            ring.append(ctx, 5000 + ctx.global_id)
+
+    injector = CrashInjector(system.machine, np.random.default_rng(8))
+    injector.arm(300)
+    try:
+        with persist_window(system):
+            system.gpu.launch(producer, 4, 128, (ring, 512),
+                              crash_injector=injector)
+    except SimulatedCrash as crash:
+        print(f"power failed after {crash.threads_retired} producer threads")
+
+    committed = ring.committed()
+    prefix = ring.durable_prefix()
+    print(f"durably committed records: {len(committed)} "
+          f"(gap-free prefix: {len(prefix)}, holes: {len(ring.holes())})")
+    next_ticket = ring.recover()
+    print(f"cursor repaired; appends resume at ticket {next_ticket}\n")
+
+
+def hashmap_demo(system: System) -> None:
+    print("=== PersistentHashMap: atomic batched inserts ===")
+    pmap = PersistentHashMap.create(system, "/pm/index", capacity=8192)
+    pmap.insert_batch([101, 202, 303], [1, 2, 3])
+    print(f"committed batch of 3; map holds {len(pmap)} pairs")
+
+    injector = CrashInjector(system.machine, np.random.default_rng(9))
+    injector.arm(40)
+    keys = np.arange(1000, 1096, dtype=np.uint64)
+    try:
+        pmap.insert_batch(keys, keys * 7, crash_injector=injector)
+    except SimulatedCrash:
+        print("power failed mid-batch (96 inserts in flight)")
+
+    print("\npost-crash inspection (what an operator would run):")
+    print(format_survey(system))
+
+    recovered = PersistentHashMap.open(system, "/pm/index")
+    recovered.recover()
+    print(f"\nafter recovery: {len(recovered)} pairs "
+          f"(the interrupted batch was undone)")
+    assert recovered.get(101) == 1
+    assert all(recovered.get(int(k)) is None for k in keys)
+    print("baseline pairs intact; no partial insert leaked")
+
+
+def main() -> None:
+    system = System()
+    ring_demo(system)
+    hashmap_demo(system)
+
+
+if __name__ == "__main__":
+    main()

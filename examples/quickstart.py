@@ -1,0 +1,78 @@
+"""Quickstart: fine-grained persistence from a (simulated) GPU kernel.
+
+Demonstrates the core GPM loop from the paper:
+
+1. ``gpm_map`` a PM-resident file into the GPU's address space;
+2. open a persistence window (``gpm_persist_begin`` disables DDIO);
+3. launch a kernel whose threads store to PM and call ``gpm_persist()``
+   (the system-scope fence);
+4. power-fail the machine and observe that exactly the fenced data
+   survived.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import System
+from repro.core import gpm_map, gpm_persist, persist_window
+
+
+def kernel(ctx, data, n):
+    """Each thread persists its own element; odd threads skip the fence."""
+    i = ctx.global_id
+    if i >= n:
+        return
+    data.write(ctx, i, i * i)
+    if i % 2 == 0:
+        gpm_persist(ctx)  # __threadfence_system() inside a persist window
+
+
+def main() -> None:
+    system = System()
+    n = 256
+
+    print("mapping a PM-resident file into the GPU's address space...")
+    region = gpm_map(system, "/pm/quickstart", n * 4, create=True)
+    data = region.array(np.uint32)
+
+    print("launching the kernel inside a persistence window...")
+    with persist_window(system):
+        result = system.gpu.launch(kernel, 2, 128, (data, n))
+
+    print(f"  kernel time: {result.elapsed * 1e6:.2f} simulated us")
+    print(f"  fences issued: {result.accounting.fences}")
+    print(f"  PCIe transactions: {result.accounting.host_write_tx} "
+          f"(128 B-coalesced across each warp)")
+
+    print("\nvisible state before the crash:")
+    print(" ", data.np[:8], "...")
+
+    print("\npower failure!")
+    system.crash()
+
+    survived = data.np[:8]
+    print("durable state after the crash:")
+    print(" ", survived, "...")
+    even = np.arange(0, n, 2)
+    assert (data.np[even] == (even * even).astype(np.uint32)).all(), \
+        "fenced writes must survive"
+    # Odd threads never fenced: their warp drained at retirement, which the
+    # persistence window still made durable - but only because DDIO was off.
+    print("\nevery store that reached the memory controller inside the")
+    print("persistence window survived; nothing else did.")
+
+    # The same kernel without a window: DDIO parks writes in the LLC.
+    system2 = System()
+    region2 = gpm_map(system2, "/pm/quickstart", n * 4, create=True)
+    data2 = region2.array(np.uint32)
+    system2.gpu.launch(kernel, 2, 128, (data2, n))  # no persist_window!
+    system2.crash()
+    assert not data2.np.any()
+    print("without the window (DDIO on), the same fences completed at the")
+    print("volatile LLC and the crash erased everything - the exact trap")
+    print("GPM's selective DDIO disabling closes (Section 3.1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Resumable graph traversal with native persistence (Section 4.3).
+
+BFS over a road-network-like graph persists the per-node costs and the
+visit sequence from inside the kernels.  After a random mid-search power
+failure, the traversal *resumes* from the durable partial state instead of
+restarting - the defining capability of GPM's native-persistence class.
+
+Run:  python examples/resumable_bfs.py
+"""
+
+import numpy as np
+
+from repro.sim import CrashInjector, SimulatedCrash
+from repro.workloads import BfsConfig, GraphBfs, Mode, make_system
+from repro.workloads.base import ModeDriver, PersistentBuffer
+from repro.workloads.bfs import INF
+
+
+def main() -> None:
+    config = BfsConfig(rows=48, cols=96, engine="kernel",
+                       shortcut_fraction=0.002)
+    workload = GraphBfs(config)
+    system = make_system(Mode.GPM)
+    n = workload.n_nodes
+    print(f"BFS over a {config.rows}x{config.cols} road grid "
+          f"({n} nodes), persisting costs + visit order to PM...")
+
+    injector = CrashInjector(system.machine, np.random.default_rng(11))
+    point = injector.arm_random(n)
+    try:
+        workload.run(Mode.GPM, system=system, crash_injector=injector)
+        print("finished without a crash (unlucky draw) - rerun for drama")
+        return
+    except SimulatedCrash:
+        pass
+
+    driver = ModeDriver(system, Mode.GPM)
+    system.machine.drop_volatile_regions()
+    buf = PersistentBuffer.reopen(driver, "/pm/bfs.state")
+    header = buf.visible_view(np.uint32, 0, 2)
+    costs = buf.visible_view(np.uint32, 128, n)
+    done = int(np.count_nonzero(costs != INF))
+    print(f"power failed after ~{point} relaxations: "
+          f"{done}/{n} nodes have durable costs "
+          f"(durable level counter: {int(header[0]) - 1})")
+
+    print("resuming from the durable partial traversal...")
+    resumed = GraphBfs(config)
+    result = resumed.run(Mode.GPM, system=system, resume_buffer=buf)
+    print(f"resumed search finished at level {result.extras['levels']} "
+          f"in {result.elapsed * 1e3:.2f} additional simulated ms")
+    assert resumed.verify(), "resumed costs must match a from-scratch BFS"
+    print("verified: resumed costs are identical to a from-scratch BFS")
+
+    # What the alternative costs: restart from zero.
+    fresh = GraphBfs(config).run(Mode.GPM)
+    print(f"(a full restart would have taken {fresh.elapsed * 1e3:.2f} "
+          f"simulated ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Allows ``pip install -e . --no-use-pep517`` (legacy editable install) when
+PEP 517 build isolation is unavailable (e.g. offline machines).  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

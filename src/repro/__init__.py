@@ -1,0 +1,29 @@
+"""GPM: Leveraging Persistent Memory from a GPU — simulated reproduction.
+
+This library reproduces the ASPLOS 2022 paper by Pandey, Kamath and Basu in
+pure Python.  It contains:
+
+* :mod:`repro.sim` — the simulated Xeon + Optane + GPU machine;
+* :mod:`repro.gpu` — a SIMT GPU engine (warps, coalescing, scoped fences);
+* :mod:`repro.host` — CPU software: DAX filesystem, DMA, the CAP baselines;
+* :mod:`repro.core` — **libGPM**, the paper's contribution: persistency
+  primitives, hierarchical coalesced logging, checkpointing;
+* :mod:`repro.workloads` — the GPMbench suite (9 workloads);
+* :mod:`repro.baselines` — CPU-only persistent-memory applications;
+* :mod:`repro.experiments` — harnesses regenerating every figure and table.
+
+Quickstart::
+
+    from repro import System
+    from repro.core import gpm_map, persist_window
+
+    sys = System()
+    region = gpm_map(sys, "/pm/data", 1 << 20, create=True)
+    with persist_window(sys):
+        sys.gpu.launch(my_kernel, grid, block, (region, ...))
+"""
+
+from .system import System
+from .version import __version__
+
+__all__ = ["System", "__version__"]

@@ -1,0 +1,116 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show every reproducible artefact (paper figures/tables, ablations,
+    extensions).
+``run <name> [...]``
+    Regenerate one or more artefacts by name, print them, and save
+    ``reports/out_<name>.txt``.
+``all``
+    Regenerate everything (a few minutes).
+``workload <name> [--mode MODE]``
+    Run one GPMbench workload under one persistence mode and report its
+    simulated time and traffic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from .experiments import ALL_EXPERIMENTS
+    from .workloads import gpmbench_suite
+
+    print("artefacts (python -m repro run <name>):")
+    for name in ALL_EXPERIMENTS:
+        print(f"  {name}")
+    print("\nworkloads (python -m repro workload <name> [--mode m]):")
+    for w in gpmbench_suite():
+        print(f"  {w.name}")
+    return 0
+
+
+def _resolve(name: str):
+    from .experiments import ALL_EXPERIMENTS
+
+    if name in ALL_EXPERIMENTS:
+        return ALL_EXPERIMENTS[name]
+    raise SystemExit(f"unknown artefact {name!r}; see `python -m repro list`")
+
+
+def _cmd_run(args) -> int:
+    for name in args.names:
+        table = _resolve(name)()
+        path = table.save(args.reports)
+        print(table.to_text())
+        if args.bars:
+            try:
+                print(table.to_bars(args.bars, log=args.log))
+            except ValueError:
+                print(f"(column {args.bars!r} not in {name})")
+        print(f"saved {path}\n")
+    return 0
+
+
+def _cmd_all(args) -> int:
+    from .experiments import run_all
+
+    run_all(directory=args.reports, verbose=True)
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from .workloads import Mode, gpmbench_suite
+
+    mode = Mode(args.mode)
+    target = None
+    for w in gpmbench_suite():
+        if w.name.lower() == args.name.lower():
+            target = w
+            break
+    if target is None:
+        known = ", ".join(w.name for w in gpmbench_suite())
+        raise SystemExit(f"unknown workload {args.name!r}; one of: {known}")
+    result = target.run(mode)
+    print(f"{target.name} under {mode.value}:")
+    print(f"  simulated time     {result.elapsed * 1e3:.4f} ms")
+    print(f"  PM bytes persisted {result.bytes_persisted:,}")
+    print(f"  PCIe write BW      {result.pcie_write_bandwidth / 1e9:.2f} GB/s")
+    for key, value in result.extras.items():
+        print(f"  {key:<18} {value}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="GPM (ASPLOS '22) simulated reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list artefacts and workloads")
+    run = sub.add_parser("run", help="regenerate named artefacts")
+    run.add_argument("names", nargs="+")
+    run.add_argument("--reports", default="reports")
+    run.add_argument("--bars", metavar="COLUMN",
+                     help="also render an ASCII bar chart of COLUMN")
+    run.add_argument("--log", action="store_true",
+                     help="log-scale the bar chart")
+    allp = sub.add_parser("all", help="regenerate everything")
+    allp.add_argument("--reports", default="reports")
+    wl = sub.add_parser("workload", help="run one workload under one mode")
+    wl.add_argument("name")
+    wl.add_argument("--mode", default="gpm",
+                    help="gpm | gpm-ndp | gpm-eadr | cap-fs | cap-mm | "
+                         "cap-eadr | gpufs")
+    args = parser.parse_args(argv)
+    return {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
+            "workload": _cmd_workload}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""CPU-only persistent-memory baselines (the Fig. 1 comparators)."""
+
+from .costs import (
+    CPU_ELEMENT_OP_S,
+    CPU_PARALLEL_REGION_S,
+    CPU_PM_UPDATE_S,
+    MATRIXKV,
+    PMEMKV,
+    ROCKSDB,
+    KvsCost,
+)
+from .cpu_apps import CpuBfs, CpuPrefixSum, CpuSrad
+from .cpu_db import CpuDb
+from .cpu_kvs import CpuKvsStore, MatrixKvStore, PmemKvStore, RocksDbStore
+
+__all__ = [
+    "CPU_ELEMENT_OP_S",
+    "CPU_PARALLEL_REGION_S",
+    "CPU_PM_UPDATE_S",
+    "CpuBfs",
+    "CpuDb",
+    "CpuKvsStore",
+    "CpuPrefixSum",
+    "CpuSrad",
+    "KvsCost",
+    "MATRIXKV",
+    "MatrixKvStore",
+    "PMEMKV",
+    "PmemKvStore",
+    "ROCKSDB",
+    "RocksDbStore",
+]

@@ -1,0 +1,61 @@
+"""Calibrated software costs of the CPU baselines.
+
+The paper's Fig. 1 compares GPM against *real* CPU systems - Intel pmemKV,
+RocksDB-pmem, MatrixKV, and hand-parallelised PM-aware CPU applications.
+Those are large closed or external codebases we cannot rebuild; per the
+substitution rule they are modelled as **performance models layered on the
+shared Optane substrate**: a functional data structure plus per-operation
+software costs.
+
+The constants below are the models' calibration points.  They were chosen
+to be *independently plausible* for the real systems on Optane (per-op
+costs of PM key-value stores are well documented in the paper's refs
+[38, 79, 100]) and are NOT tuned per figure; the Fig. 1 ratios then emerge
+from running both sides on the same simulated machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KvsCost:
+    """Per-SET software cost model of a CPU persistent KVS."""
+
+    #: single-thread software time per SET (index walk, locking, allocator,
+    #: log formatting) - excludes the media time, which the Optane model adds
+    per_op_s: float
+    #: Amdahl parallel fraction across the 64-core server
+    parallel_fraction: float
+    #: bytes appended to a WAL (sequential flush-grain) per SET
+    wal_bytes: int
+    #: random PM cache lines flushed in place per SET
+    random_lines: int
+
+
+#: Intel pmemKV (cmap engine): lock-sharded PM hashmap, no WAL - in-place
+#: persistent updates, two random line flushes (slot + bucket metadata).
+PMEMKV = KvsCost(per_op_s=7.5e-6, parallel_fraction=0.95, wal_bytes=0, random_lines=2)
+
+#: RocksDB on PM: WAL append + memtable insert + amortised compaction
+#: rewrite (LSM write amplification folded into the WAL byte count).
+ROCKSDB = KvsCost(per_op_s=16.0e-6, parallel_fraction=0.94, wal_bytes=192, random_lines=0)
+
+#: MatrixKV: LSM with a PM matrix container for L0 - cheaper compactions
+#: than RocksDB but more software than pmemKV.
+MATRIXKV = KvsCost(per_op_s=8.5e-6, parallel_fraction=0.95, wal_bytes=96, random_lines=0)
+
+
+#: Multi-threaded CPU PM applications (Fig. 1b): per-parallel-region costs.
+#: A fork/join parallel region (e.g. one BFS level) pays thread wake-up +
+#: barrier; fine-grained PM updates are serialised on shared structures.
+CPU_PARALLEL_REGION_S = 18e-6
+#: Per-PM-update software cost in CPU native apps when the update targets a
+#: *contended shared structure* (BFS's frontier queue + cost array): an
+#: atomic claim, the store, CLFLUSHOPT and a serialising SFENCE under
+#: contention.  ~2 us per update matches the per-op costs measured for
+#: contended fine-grained PM updates in the paper's refs [64, 99].
+CPU_PM_UPDATE_S = 2.2e-6
+#: Per-element compute cost of the CPU stencil/scan codes (vectorised AVX).
+CPU_ELEMENT_OP_S = 1.2e-9

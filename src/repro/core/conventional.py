@@ -1,0 +1,180 @@
+"""Conventional distributed logging: the baseline HCL is measured against.
+
+Section 5.2: prior work scales CPU logging by keeping multiple log files
+(*partitions*); inserts into different partitions proceed concurrently, but
+inserts into the same partition are **serialised by a lock**.  libGPM keeps
+this flavour for small metadata (``gpmlog_create_conv``), and the paper's
+Fig. 11 benchmarks HCL against it.
+
+The simulator charges each insert the critical-section cost of acquiring a
+PM-resident lock over PCIe and appending; the accumulated per-partition
+serial time lower-bounds the kernel's elapsed time
+(:meth:`~repro.gpu.kernel.ThreadContext.charge_serial_time`), which is what
+makes conventional-log latency grow with thread count (Fig. 11b) while
+HCL's stays flat.
+
+Layout::
+
+    [header 64 B][counts: u32 x partitions][partition areas, 128 B aligned]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.kernel import ThreadContext
+from .errors import GpmError, LogEmpty, LogFull
+from .hcl import _align, entry_chunks
+from .mapping import GpmRegion
+
+CONV_MAGIC = 0x434F4E56  # "CONV"
+_HEADER_BYTES = 64
+
+
+class ConventionalLog:
+    """A lock-based, partitioned append log on PM."""
+
+    kind = "conv"
+
+    def __init__(self, gpm_region: GpmRegion) -> None:
+        self.gpm = gpm_region
+        header = gpm_region.view(np.uint32, 0, _HEADER_BYTES // 4)
+        if int(header[0]) != CONV_MAGIC:
+            raise GpmError(f"{gpm_region.path!r} is not a conventional log")
+        self.partitions = int(header[1])
+        self.partition_bytes = int(header[2])
+        self.counts_offset = int(header[3])
+        self.data_offset = int(header[4])
+        # Serialisation bookkeeping: per-partition critical-section time
+        # accumulated within the current kernel (reset on each new launch).
+        self._serial: np.ndarray = np.zeros(self.partitions)
+        self._serial_epoch = -1
+
+    @staticmethod
+    def format(gpm_region: GpmRegion, partitions: int) -> "ConventionalLog":
+        if partitions <= 0:
+            raise GpmError("partitions must be positive")
+        counts_offset = _HEADER_BYTES
+        data_offset = _align(counts_offset + partitions * 4, 128)
+        usable = gpm_region.size - data_offset
+        partition_bytes = usable // partitions // 128 * 128
+        if partition_bytes < 128:
+            raise GpmError(f"log of {gpm_region.size} B too small for {partitions} partitions")
+        header = gpm_region.view(np.uint32, 0, _HEADER_BYTES // 4)
+        header[0] = CONV_MAGIC
+        header[1] = partitions
+        header[2] = partition_bytes
+        header[3] = counts_offset
+        header[4] = data_offset
+        gpm_region.region.persist_range(0, data_offset)
+        return ConventionalLog(gpm_region)
+
+    # -- internals -----------------------------------------------------------
+
+    def _partition_for(self, ctx: ThreadContext, partition: int) -> int:
+        if partition < 0:
+            # Auto-partitioning assigns threadblocks to partitions, the
+            # usual distributed-log arrangement of [9, 11, 94].
+            return ctx.block_id % self.partitions
+        if partition >= self.partitions:
+            raise GpmError(f"partition {partition} out of range [0, {self.partitions})")
+        return partition
+
+    def _count_offset(self, p: int) -> int:
+        return self.counts_offset + p * 4
+
+    def _charge_lock(self, ctx: ThreadContext, p: int, entry_bytes: int) -> None:
+        """Account the serialised critical section of one locked insert."""
+        machine = self.gpm.system.machine
+        epoch = machine.stats.kernels_launched
+        if epoch != self._serial_epoch:
+            self._serial[:] = 0.0
+            self._serial_epoch = epoch
+        cfg = machine.config
+        # Lock acquire and release are PM atomics over PCIe, and the entry
+        # must be *persisted* (another round trip) before the lock can be
+        # released - undo entries may not be torn by a successor's append.
+        critical = 3 * cfg.pcie_rtt_s + entry_bytes / cfg.pcie_bw
+        self._serial[p] += critical
+        ctx.charge_serial_time(float(self._serial[p]))
+
+    # -- device API ------------------------------------------------------------
+
+    def insert(self, ctx: ThreadContext, data, partition: int = -1) -> None:
+        """Append an entry to a partition under its lock; persists entry+count."""
+        chunks = entry_chunks(data)
+        nbytes = chunks.size * 4
+        p = self._partition_for(ctx, partition)
+        region = self.gpm.region
+        self._charge_lock(ctx, p, nbytes)
+        count = int(ctx.load(region, self._count_offset(p), np.uint32))
+        if count + nbytes > self.partition_bytes:
+            raise LogFull(f"partition {p}: {count}+{nbytes} exceeds {self.partition_bytes}")
+        base = self.data_offset + p * self.partition_bytes
+        ctx.store(region, base + count, chunks, np.uint32)
+        ctx.persist()
+        ctx.store(region, self._count_offset(p), count + nbytes, np.uint32)
+        ctx.persist()
+
+    def read(self, ctx: ThreadContext, entry_bytes: int, partition: int = -1) -> np.ndarray:
+        """Read the partition's most recent entry."""
+        padded = _align(entry_bytes, 4)
+        p = self._partition_for(ctx, partition)
+        region = self.gpm.region
+        count = int(ctx.load(region, self._count_offset(p), np.uint32))
+        if count < padded:
+            raise LogEmpty(f"partition {p}: count {count} < entry of {padded} bytes")
+        base = self.data_offset + p * self.partition_bytes
+        raw = ctx.load(region, base + count - padded, np.uint8, count=padded)
+        return np.asarray(raw[:entry_bytes]).copy()
+
+    def remove(self, ctx: ThreadContext, entry_bytes: int, partition: int = -1) -> None:
+        """Pop the partition's most recent entry under the lock."""
+        padded = _align(entry_bytes, 4)
+        p = self._partition_for(ctx, partition)
+        region = self.gpm.region
+        self._charge_lock(ctx, p, 4)
+        count = int(ctx.load(region, self._count_offset(p), np.uint32))
+        if count < padded:
+            raise LogEmpty(f"partition {p}: count {count} < entry of {padded} bytes")
+        ctx.store(region, self._count_offset(p), count - padded, np.uint32)
+        ctx.persist()
+
+    # -- host API ---------------------------------------------------------------
+
+    def host_count(self, partition: int, persisted: bool = True) -> int:
+        view = (self.gpm.persisted_view if persisted else self.gpm.view)(
+            np.uint32, self.counts_offset, self.partitions
+        )
+        return int(view[partition])
+
+    def host_read_entry(self, partition: int, entry_bytes: int, index: int = -1,
+                        persisted: bool = True) -> np.ndarray:
+        padded = _align(entry_bytes, 4)
+        count = self.host_count(partition, persisted)
+        n_entries = count // padded
+        if n_entries == 0:
+            raise LogEmpty(f"partition {partition} has no entries")
+        if index < 0:
+            index += n_entries
+        if not 0 <= index < n_entries:
+            raise IndexError(f"entry {index} out of range [0, {n_entries})")
+        base = self.data_offset + partition * self.partition_bytes + index * padded
+        view = (self.gpm.persisted_view if persisted else self.gpm.view)(
+            np.uint8, base, padded
+        )
+        return np.asarray(view[:entry_bytes]).copy()
+
+    def clear(self, partition: int = -1) -> None:
+        """Truncate one partition (or all), durably."""
+        counts = self.gpm.view(np.uint32, self.counts_offset, self.partitions)
+        if partition < 0:
+            counts[:] = 0
+            span = (self.counts_offset, self.partitions * 4)
+        else:
+            counts[partition] = 0
+            span = (self._count_offset(partition), 4)
+        elapsed = self.gpm.system.machine.optane.write_flush_grain(
+            self.gpm.region, span[0], span[1], grain=64
+        )
+        self.gpm.system.machine.clock.advance(elapsed)

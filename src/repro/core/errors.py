@@ -1,0 +1,23 @@
+"""libGPM error types."""
+
+from __future__ import annotations
+
+
+class GpmError(Exception):
+    """Base class for libGPM failures."""
+
+
+class LogFull(GpmError):
+    """A thread attempted to insert past its share of the log."""
+
+
+class LogEmpty(GpmError):
+    """A thread attempted to read/remove from an empty per-thread log."""
+
+
+class CheckpointError(GpmError):
+    """Checkpoint creation, registration, or restoration failed."""
+
+
+class MappingError(GpmError):
+    """gpm_map/gpm_unmap misuse (missing file, size mismatch, ...)."""

@@ -1,0 +1,85 @@
+"""The gpmlog_* API of Table 2 - front-ends over HCL and conventional logs.
+
+These functions mirror the paper's CUDA signatures: create/open/close from
+the CPU, insert/read/remove from GPU threads, clear from the CPU.  The log
+flavour (HCL vs conventional) is recorded in the file header so
+:func:`gpmlog_open` can reconstruct the right object after a crash.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.kernel import ThreadContext
+from .conventional import CONV_MAGIC, ConventionalLog
+from .errors import GpmError
+from .hcl import HCL_MAGIC, HclLog
+from .mapping import gpm_map, gpm_unmap
+
+GpmLog = HclLog | ConventionalLog
+
+
+def gpmlog_create_hcl(system, path: str, size: int, blocks: int,
+                      threads_per_block: int) -> HclLog:
+    """Create a Hierarchical Coalesced Log sized for a kernel geometry."""
+    region = gpm_map(system, path, size, create=True)
+    return HclLog.format(region, blocks, threads_per_block)
+
+
+def gpmlog_create_conv(system, path: str, size: int, n_partitions: int) -> ConventionalLog:
+    """Create a conventional (lock-based, partitioned) log."""
+    region = gpm_map(system, path, size, create=True)
+    return ConventionalLog.format(region, n_partitions)
+
+
+def gpmlog_open(system, path: str) -> GpmLog:
+    """Open an existing log, dispatching on its persisted header magic."""
+    region = gpm_map(system, path)
+    magic = int(region.view(np.uint32, 0, 1)[0])
+    if magic == HCL_MAGIC:
+        return HclLog(region)
+    if magic == CONV_MAGIC:
+        return ConventionalLog(region)
+    raise GpmError(f"{path!r} does not contain a libGPM log (magic {magic:#x})")
+
+
+def gpmlog_close(system, log: GpmLog) -> None:
+    """Unmap a log.  Its contents remain on PM."""
+    gpm_unmap(system, log.gpm)
+
+
+def gpmlog_insert(ctx: ThreadContext, log: GpmLog, data, partition: int = -1):
+    """Insert a log entry from a GPU thread (persisted on return).
+
+    For HCL logs the entry lands at the thread's hierarchy-derived offset;
+    ``partition`` is ignored.  For conventional logs the entry is appended
+    to ``partition`` (default: the caller's block id modulo partitions)
+    under that partition's lock.
+    """
+    if isinstance(log, HclLog):
+        log.insert(ctx, data)
+    else:
+        log.insert(ctx, data, partition)
+
+
+def gpmlog_read(ctx: ThreadContext, log: GpmLog, size: int, partition: int = -1) -> np.ndarray:
+    """Read the most recent entry (thread-local for HCL)."""
+    if isinstance(log, HclLog):
+        return log.read(ctx, size)
+    return log.read(ctx, size, partition)
+
+
+def gpmlog_remove(ctx: ThreadContext, log: GpmLog, size: int, partition: int = -1) -> None:
+    """Remove the most recent entry (persisted on return)."""
+    if isinstance(log, HclLog):
+        log.remove(ctx, size)
+    else:
+        log.remove(ctx, size, partition)
+
+
+def gpmlog_clear(log: GpmLog, partition: int = -1) -> None:
+    """Truncate the log (host-side, durable)."""
+    if isinstance(log, HclLog):
+        log.clear()
+    else:
+        log.clear(partition)

@@ -1,0 +1,94 @@
+"""PM allocation and UVA mapping: ``gpm_map`` / ``gpm_unmap``.
+
+Section 5.1: *"To allocate memory on PM, a PM-resident file is
+memory-mapped using Intel PMDK's libpmem library. Using CUDA's UVA, it maps
+the newly allocated memory to the GPU's address space, enabling direct
+access to PM via loads/stores."*
+
+A :class:`GpmRegion` is that mapping: a PM-file-backed region visible to
+both CPU code (via numpy views) and GPU kernels (via
+:class:`~repro.gpu.memory.DeviceArray` element access).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.memory import DeviceArray
+from ..host.filesystem import FsError, PmFile
+from ..sim.memory import Region
+from .errors import MappingError
+
+
+class GpmRegion:
+    """A PM-resident file mapped into the GPU's (and CPU's) address space."""
+
+    def __init__(self, system, pm_file: PmFile) -> None:
+        self.system = system
+        self.file = pm_file
+        self.mapped = True
+
+    @property
+    def path(self) -> str:
+        return self.file.path
+
+    @property
+    def region(self) -> Region:
+        return self.file.region
+
+    @property
+    def size(self) -> int:
+        return self.file.size
+
+    def array(self, dtype, offset: int = 0, count: int | None = None) -> DeviceArray:
+        """A typed device-accessible array over (part of) the mapping."""
+        self._check_mapped()
+        return DeviceArray(self.region, dtype, offset, count)
+
+    def view(self, dtype, offset: int = 0, count: int | None = None) -> np.ndarray:
+        """CPU-side numpy view of the visible image."""
+        self._check_mapped()
+        return self.region.view(dtype, offset, count)
+
+    def persisted_view(self, dtype, offset: int = 0, count: int | None = None) -> np.ndarray:
+        """What would survive a crash right now (for tests/verification)."""
+        return self.region.persisted_view(dtype, offset, count)
+
+    def _check_mapped(self) -> None:
+        if not self.mapped:
+            raise MappingError(f"region {self.path!r} was unmapped")
+
+
+def gpm_map(system, path: str, size: int | None = None, create: bool = False) -> GpmRegion:
+    """Map a PM-resident file into the GPU's virtual address space.
+
+    With ``create=True`` a new file of ``size`` bytes is created (zeroed);
+    otherwise an existing file is opened - and ``size``, if given, must
+    match.  Returns a :class:`GpmRegion` whose contents survive crashes.
+    """
+    if create:
+        if size is None or size <= 0:
+            raise MappingError("creating a mapping requires a positive size")
+        if system.fs.exists(path):
+            raise MappingError(f"file exists: {path!r}")
+        f = system.fs.create(path, size)
+    else:
+        try:
+            f = system.fs.open(path)
+        except FsError as exc:
+            raise MappingError(str(exc)) from exc
+        if size is not None and size != f.size:
+            raise MappingError(
+                f"size mismatch for {path!r}: file has {f.size}, caller expects {size}"
+            )
+    # Mapping cost: page-table setup for the UVA window.
+    system.machine.clock.advance(system.config.syscall_s)
+    return GpmRegion(system, f)
+
+
+def gpm_unmap(system, region: GpmRegion) -> None:
+    """Tear down a mapping.  File contents remain on PM."""
+    if not region.mapped:
+        raise MappingError(f"region {region.path!r} already unmapped")
+    region.mapped = False
+    system.machine.clock.advance(system.config.syscall_s)

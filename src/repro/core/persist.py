@@ -1,0 +1,60 @@
+"""Persistency primitives: persist windows (DDIO control) and fences.
+
+Section 5.1: *"Our library provides gpm_persist_begin() and
+gpm_persist_end(), that switches DDIO off and on for the GPU by writing to
+the I/O register perfctrlsts_0. The persistence guarantees by the library
+are valid only inside the regions marked by these routines, typically placed
+before and after a kernel launch."*
+
+On an eADR platform (Section 3.3) the window is a no-op: data is durable
+once it reaches the LLC, so DDIO can stay on - this is exactly the GPM-eADR
+configuration of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..gpu.kernel import ThreadContext
+
+#: Cost of the privileged I/O-register write that flips DDIO.
+_DDIO_TOGGLE_S = 2.0e-6
+
+
+def gpm_persist_begin(system) -> None:
+    """Enter a persistence window: disable DDIO for GPU writes.
+
+    Call from the CPU before launching kernels that persist to PM.  Without
+    this (and without eADR), system-scope fences complete at the volatile
+    LLC and guarantee only visibility, not durability.
+    """
+    if not system.eadr:
+        system.machine.set_ddio(False)
+        system.machine.clock.advance(_DDIO_TOGGLE_S)
+
+
+def gpm_persist_end(system) -> None:
+    """Leave the persistence window: restore DDIO."""
+    if not system.eadr:
+        system.machine.set_ddio(True)
+        system.machine.clock.advance(_DDIO_TOGGLE_S)
+
+
+@contextmanager
+def persist_window(system):
+    """Context manager equivalent of gpm_persist_begin/gpm_persist_end."""
+    gpm_persist_begin(system)
+    try:
+        yield system
+    finally:
+        gpm_persist_end(system)
+
+
+def gpm_persist(ctx: ThreadContext) -> None:
+    """Device-side persist: guarantee this thread's prior PM writes.
+
+    Implemented with the system-scope fence (``__threadfence_system()``),
+    which inside a persistence window completes only once writes have
+    reached the host memory controllers - the ADR persistence domain.
+    """
+    ctx.persist()

@@ -1,0 +1,165 @@
+"""System-wide recovery orchestration.
+
+A crashed process restarting over a PM filesystem faces many structures at
+once: hash maps mid-batch, rings with stale cursors, logs left over from
+committed transactions.  :class:`RecoveryManager` turns the inspector's
+survey (:mod:`repro.core.inspect`) into an ordered recovery plan and
+executes it:
+
+* ``hashmap`` files recover through
+  :meth:`repro.pstruct.PersistentHashMap.recover` (undo if their flag is
+  active);
+* ``ring`` files repair their cursors;
+* logs whose sibling transaction flag is idle are stale and truncated;
+* unknown structures are reported, not touched.
+
+Applications with bespoke recovery (the GPMbench workloads) register a
+handler by path prefix; handlers run before the generic rules claim the
+file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .inspect import FileReport, survey
+from .logging import gpmlog_clear, gpmlog_open
+
+
+@dataclass
+class RecoveryAction:
+    """One step of an executed recovery plan."""
+
+    path: str
+    action: str          # "handler" | "hashmap-undo" | "ring-cursor" |
+                         # "truncate-stale-log" | "skip"
+    detail: str = ""
+    elapsed: float = 0.0
+
+
+@dataclass
+class RecoveryReport:
+    actions: list[RecoveryAction] = field(default_factory=list)
+
+    @property
+    def total_elapsed(self) -> float:
+        return sum(a.elapsed for a in self.actions)
+
+    def describe(self) -> str:
+        lines = ["recovery report:"]
+        for a in self.actions:
+            extra = f" ({a.detail})" if a.detail else ""
+            lines.append(f"  {a.path}: {a.action}{extra} "
+                         f"[{a.elapsed * 1e6:.1f} us]")
+        lines.append(f"total: {self.total_elapsed * 1e6:.1f} us")
+        return "\n".join(lines)
+
+
+class RecoveryManager:
+    """Bring every durable libGPM structure back to consistency."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self._handlers: list[tuple[str, Callable]] = []
+
+    def register_handler(self, path_prefix: str,
+                         handler: Callable[[object, FileReport], float]) -> None:
+        """Claim files under ``path_prefix`` for application recovery.
+
+        ``handler(system, report)`` must return its elapsed simulated
+        seconds; it runs once per matching file, before the generic rules.
+        """
+        self._handlers.append((path_prefix, handler))
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RecoveryReport:
+        """Survey PM, recover everything recoverable, report each step."""
+        report = RecoveryReport()
+        reports = survey(self.system)
+        flags_active = {
+            r.path: r.detail.get("transaction_active", False)
+            for r in reports if r.kind == "tx-flag"
+        }
+        claimed: set[str] = set()
+        for file_report in reports:
+            handler = self._handler_for(file_report.path)
+            if handler is not None:
+                elapsed = handler(self.system, file_report)
+                report.actions.append(RecoveryAction(
+                    file_report.path, "handler", elapsed=elapsed))
+                claimed.add(file_report.path)
+        # Structured types first: they own (and clear) their sibling
+        # flag/log files, which must not then be treated as orphans.
+        for file_report in reports:
+            if file_report.path in claimed:
+                continue
+            if file_report.kind in ("hashmap", "ring"):
+                report.actions.append(self._generic(file_report, flags_active))
+                claimed.add(file_report.path)
+                for sibling in (f"{file_report.path}.flag",
+                                f"{file_report.path}.log"):
+                    if any(r.path == sibling for r in reports):
+                        claimed.add(sibling)
+                        report.actions.append(RecoveryAction(
+                            sibling, "skip", f"owned by {file_report.path}"))
+        for file_report in reports:
+            if file_report.path in claimed:
+                continue
+            report.actions.append(self._generic(file_report, flags_active))
+        return report
+
+    def _handler_for(self, path: str):
+        for prefix, handler in self._handlers:
+            if path.startswith(prefix):
+                return handler
+        return None
+
+    def _generic(self, file_report: FileReport,
+                 flags_active: dict[str, bool]) -> RecoveryAction:
+        system = self.system
+        start = system.machine.clock.now
+        kind = file_report.kind
+        path = file_report.path
+        if kind == "hashmap":
+            from ..pstruct import PersistentHashMap
+
+            pmap = PersistentHashMap.open(system, path)
+            undone = pmap._flag.active
+            pmap.recover()
+            return RecoveryAction(path, "hashmap-undo",
+                                  "interrupted batch undone" if undone
+                                  else "clean",
+                                  system.machine.clock.now - start)
+        if kind == "ring":
+            from ..pstruct import PersistentRing
+
+            ring = PersistentRing.open(system, path)
+            next_ticket = ring.recover()
+            return RecoveryAction(path, "ring-cursor",
+                                  f"cursor at {next_ticket}",
+                                  system.machine.clock.now - start)
+        if kind in ("hcl-log", "conv-log"):
+            flag_path = path.replace(".log", ".flag")
+            if flags_active.get(flag_path):
+                # An app-specific undo owns this log; without a registered
+                # handler we must not destroy the evidence.
+                return RecoveryAction(path, "skip",
+                                      "active transaction needs its "
+                                      "application's recovery kernel")
+            has_entries = (file_report.detail.get("threads_with_entries")
+                           or file_report.detail.get("non_empty_partitions"))
+            if has_entries:
+                gpmlog_clear(gpmlog_open(system, path))
+                return RecoveryAction(path, "truncate-stale-log",
+                                      "committed leftovers",
+                                      system.machine.clock.now - start)
+            return RecoveryAction(path, "skip", "empty")
+        if kind == "tx-flag":
+            # Flags are cleared by whichever structure they guard.
+            return RecoveryAction(path, "skip", "owned by its structure")
+        if kind == "checkpoint":
+            return RecoveryAction(path, "skip",
+                                  "double-buffered: always consistent")
+        return RecoveryAction(path, "skip", "unrecognised contents")

@@ -1,0 +1,61 @@
+"""Transaction-flag helpers for recoverable batched GPU transactions.
+
+Section 5.2's gpKVS example: *"Before the kernel begins execution, a flag is
+set and persisted to indicate that a transaction on the GPU is active."*  On
+recovery, a clear flag means the crash did not interrupt an active batch and
+the logs can simply be truncated; a set flag means the logs must be replayed
+(undo).
+
+:class:`TransactionFlag` is that one persisted word, plus the begin/commit
+protocol around a batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mapping import GpmRegion, gpm_map
+
+FLAG_IDLE = 0
+FLAG_ACTIVE = 1
+
+_FLAG_BYTES = 64  # own cache line
+
+
+class TransactionFlag:
+    """A persisted transaction-active flag on PM."""
+
+    def __init__(self, system, gpm_region: GpmRegion) -> None:
+        self.system = system
+        self.gpm = gpm_region
+
+    @classmethod
+    def create(cls, system, path: str) -> "TransactionFlag":
+        region = gpm_map(system, path, _FLAG_BYTES, create=True)
+        flag = cls(system, region)
+        flag._write(FLAG_IDLE)
+        return flag
+
+    @classmethod
+    def open(cls, system, path: str) -> "TransactionFlag":
+        return cls(system, gpm_map(system, path))
+
+    def _write(self, value: int) -> None:
+        region = self.gpm.region
+        region.view(np.uint32, 0, 1)[0] = value
+        self.system.machine.cpu_store_arrival(region, 0, 4)
+        elapsed = self.system.machine.llc.flush_range(region, 0, 4)
+        self.system.machine.clock.advance(elapsed)
+
+    def begin(self) -> None:
+        """Mark a batched transaction active (persisted before any update)."""
+        self._write(FLAG_ACTIVE)
+
+    def commit(self) -> None:
+        """Mark the batch complete (persisted after all updates persisted)."""
+        self._write(FLAG_IDLE)
+
+    @property
+    def active(self) -> bool:
+        """Read the *persisted* flag - what recovery would observe."""
+        return int(self.gpm.persisted_view(np.uint32, 0, 1)[0]) == FLAG_ACTIVE

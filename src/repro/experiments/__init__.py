@@ -1,0 +1,128 @@
+"""Experiment harnesses regenerating every figure and table of the paper.
+
+Each module produces :class:`~repro.experiments.results.ExperimentTable`
+objects that render to the tab-separated ``out_*.txt`` files the paper's
+artifact emits.  :func:`run_all` regenerates everything into ``reports/``.
+"""
+
+from .ablations import (
+    binomial_counter_example,
+    ddio_ablation,
+    hcl_striping_ablation,
+    log_entry_size_sweep,
+    warp_coalescing_ablation,
+)
+from .figure1 import figure1a, figure1b
+from .figure3 import cpu_persist_time, figure3, gpu_persist_throughput
+from .figure9 import figure9
+from .figure10 import eadr_summary, figure10
+from .figure11 import figure11a, figure11b
+from .figure12 import figure12, pattern_microbenchmark
+from .results import ExperimentTable
+from .runner import clear_cache, run_workload, workload_names
+from .multigpu import multi_gpu_scaling
+
+
+def _ycsb_skew_sweep():
+    # imported lazily: repro.workloads.ycsb imports experiment plumbing
+    from ..workloads.ycsb import ycsb_skew_sweep
+
+    return ycsb_skew_sweep()
+
+
+def _delta_vs_full():
+    from ..extensions.delta_checkpoint import delta_vs_full
+
+    return delta_vs_full()
+
+
+def _redo_vs_undo():
+    from ..extensions.redo import redo_vs_undo
+
+    return redo_vs_undo()
+
+
+def _cxl_projection():
+    from ..extensions.cxl import cxl_projection
+
+    return cxl_projection()
+
+from .profile import persistence_profile
+from .sensitivity import sensitivity_sweep
+from .table4 import table4
+from .table5 import table5
+from .text_results import checkpoint_frequency, cpu_only_db
+
+ALL_EXPERIMENTS = {
+    "figure1a": figure1a,
+    "figure1b": figure1b,
+    "figure3": figure3,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11a": figure11a,
+    "figure11b": figure11b,
+    "figure12": figure12,
+    "figure12_patterns": pattern_microbenchmark,
+    "table4": table4,
+    "table5": table5,
+    "checkpoint_freq": checkpoint_frequency,
+    "cpu_db": cpu_only_db,
+    "ablation_striping": hcl_striping_ablation,
+    "ablation_coalescing": warp_coalescing_ablation,
+    "ablation_ddio": ddio_ablation,
+    "ablation_entry_size": log_entry_size_sweep,
+    "ablation_binomial": binomial_counter_example,
+    "sensitivity": sensitivity_sweep,
+    "profile": persistence_profile,
+    "multigpu": multi_gpu_scaling,
+    "ycsb": _ycsb_skew_sweep,
+    "delta_checkpoint": _delta_vs_full,
+    "redo_vs_undo": _redo_vs_undo,
+    "cxl_projection": _cxl_projection,
+}
+
+
+def run_all(directory: str = "reports", verbose: bool = True) -> dict[str, ExperimentTable]:
+    """Regenerate every figure/table; saves out_*.txt files; returns tables."""
+    out = {}
+    for name, fn in ALL_EXPERIMENTS.items():
+        table = fn()
+        table.save(directory)
+        if verbose:
+            print(table.to_text())
+        out[name] = table
+    return out
+
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "binomial_counter_example",
+    "ddio_ablation",
+    "hcl_striping_ablation",
+    "log_entry_size_sweep",
+    "warp_coalescing_ablation",
+    "ExperimentTable",
+    "checkpoint_frequency",
+    "clear_cache",
+    "cpu_only_db",
+    "cpu_persist_time",
+    "eadr_summary",
+    "figure1a",
+    "figure1b",
+    "figure3",
+    "figure9",
+    "figure10",
+    "figure11a",
+    "figure11b",
+    "figure12",
+    "gpu_persist_throughput",
+    "pattern_microbenchmark",
+    "multi_gpu_scaling",
+    "persistence_profile",
+    "run_all",
+    "run_workload",
+    "sensitivity_sweep",
+    "table4",
+    "table5",
+    "workload_names",
+]

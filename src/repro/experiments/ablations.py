@@ -1,0 +1,179 @@
+"""Ablations of GPM's design choices.
+
+The paper motivates several mechanisms without isolating them; these
+ablations measure each one alone on the simulated machine:
+
+* **HCL striping** (Fig. 5): the same lock-free hierarchical log with the
+  chunk striping disabled - entries laid contiguously per thread - shows
+  how much of HCL's win is the coalescer, not just lock-freedom.
+* **Warp coalescing** (Section 5.2's premise): identical bytes stored
+  warp-contiguous versus strided, measuring transactions and time.
+* **DDIO disabling** (Section 3.1): the same fenced kernel with the
+  persistence window on and off - the off case is *faster* but persists
+  nothing, quantifying what GPM's correctness costs.
+* **Log entry size** (Fig. 5 striping): HCL insert cost versus entry
+  size - stripes scale linearly, the tail sentinel amortises.
+* **Workload suitability** (Section 4.3): the binomial-options
+  counter-example next to gpKVS - GPM "needs parallelism for good
+  performance".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.logging import gpmlog_create_hcl, gpmlog_insert
+from ..core.hcl import HclLog
+from ..core.mapping import gpm_map
+from ..core.persist import persist_window
+from ..system import System
+from ..workloads import GpKvs, Mode
+from ..workloads.binomial import BinomialOptions
+from .results import ExperimentTable
+
+_BLOCKS = 16
+_BLOCK_DIM = 256
+
+
+def _hcl_log(system, striped: bool, entry_bytes: int = 24):
+    region = gpm_map(system, "/pm/abl.log", 8 << 20, create=True)
+    return HclLog.format(region, _BLOCKS, _BLOCK_DIM, striped=striped)
+
+
+def _insert_kernel(ctx, log, entry_words):
+    entry = np.full(entry_words, ctx.global_id, dtype=np.uint32)
+    gpmlog_insert(ctx, log, entry)
+
+
+def hcl_striping_ablation() -> ExperimentTable:
+    """Fig. 5's striping, isolated: striped vs contiguous HCL layout."""
+    table = ExperimentTable(
+        "ablation_striping",
+        "Ablation: HCL chunk striping (both layouts are lock-free)",
+        ["layout", "latency_us", "pcie_tx", "speedup_vs_unstriped"],
+    )
+    results = {}
+    for striped in (True, False):
+        system = System()
+        log = _hcl_log(system, striped)
+        with persist_window(system):
+            res = system.gpu.launch(_insert_kernel, _BLOCKS, _BLOCK_DIM, (log, 6))
+        results[striped] = res
+    unstriped = results[False].elapsed
+    for striped in (False, True):
+        res = results[striped]
+        table.add("striped (Fig. 5)" if striped else "contiguous per thread",
+                  res.elapsed * 1e6, res.accounting.host_write_tx,
+                  unstriped / res.elapsed)
+    table.notes.append("striping turns each warp's 32 lockstep chunk stores "
+                       "into one 128 B line; without it they scatter across "
+                       "32 lines")
+    return table
+
+
+def _coalesced_kernel(ctx, arr):
+    arr.write(ctx, ctx.global_id, 1)
+    ctx.persist()
+
+
+def _strided_kernel(ctx, arr, stride):
+    arr.write(ctx, ctx.global_id * stride, 1)
+    ctx.persist()
+
+
+def warp_coalescing_ablation() -> ExperimentTable:
+    """Same bytes, different layout: the hardware coalescer's effect."""
+    table = ExperimentTable(
+        "ablation_coalescing",
+        "Ablation: warp coalescing of persisted stores (4 B x 2048 threads)",
+        ["pattern", "pcie_tx", "latency_us", "slowdown_vs_coalesced"],
+    )
+    base = None
+    for label, stride in (("warp-contiguous", 1), ("64 B stride", 16),
+                          ("256 B stride", 64)):
+        system = System()
+        region = system.machine.alloc_pm("abl", 2048 * 64 * 4 + 4096)
+        from ..gpu.memory import DeviceArray
+
+        arr = DeviceArray(region, np.uint32)
+        with persist_window(system):
+            if stride == 1:
+                res = system.gpu.launch(_coalesced_kernel, 16, 128, (arr,))
+            else:
+                res = system.gpu.launch(_strided_kernel, 16, 128, (arr, stride))
+        base = base or res.elapsed
+        table.add(label, res.accounting.host_write_tx, res.elapsed * 1e6,
+                  res.elapsed / base)
+    return table
+
+
+def ddio_ablation() -> ExperimentTable:
+    """What selectively disabling DDIO costs - and what it buys."""
+    table = ExperimentTable(
+        "ablation_ddio",
+        "Ablation: the persistence window (DDIO off) on a fenced kernel",
+        ["ddio", "latency_us", "durable_bytes", "survives_crash"],
+    )
+    for disable in (False, True):
+        system = System()
+        region = system.machine.alloc_pm("abl", 1 << 20)
+        from ..gpu.memory import DeviceArray
+
+        arr = DeviceArray(region, np.uint32)
+        if disable:
+            system.machine.set_ddio(False)
+        res = system.gpu.launch(_coalesced_kernel, 16, 128, (arr,))
+        n_stores = 16 * 128
+        durable = 4 * int(np.count_nonzero(
+            region.persisted_view(np.uint32, 0, n_stores)
+        ))
+        system.crash()
+        survives = bool(region.visible[: n_stores * 4].any())
+        table.add("off (GPM window)" if disable else "on (default)",
+                  res.elapsed * 1e6, durable, survives)
+    table.notes.append("with DDIO on the same fences complete faster at the "
+                       "volatile LLC - visibility without durability")
+    return table
+
+
+def log_entry_size_sweep() -> ExperimentTable:
+    """HCL insert cost versus entry size (stripe count scales linearly)."""
+    table = ExperimentTable(
+        "ablation_entry_size",
+        "Ablation: HCL insert latency vs entry size (4096 threads)",
+        ["entry_bytes", "stripes", "latency_us", "us_per_stripe"],
+    )
+    for entry_words in (1, 2, 4, 8, 16):
+        system = System()
+        log = _hcl_log(system, striped=True)
+        with persist_window(system):
+            res = system.gpu.launch(_insert_kernel, _BLOCKS, _BLOCK_DIM,
+                                    (log, entry_words))
+        table.add(entry_words * 4, entry_words, res.elapsed * 1e6,
+                  res.elapsed * 1e6 / entry_words)
+    table.notes.append("per-stripe cost falls with size: the two sentinel "
+                       "fences amortise over more data")
+    return table
+
+
+def binomial_counter_example() -> ExperimentTable:
+    """Section 4.3: GPM needs parallelism in *persisting* to win."""
+    table = ExperimentTable(
+        "ablation_binomial",
+        "Counter-example: binomial options vs gpKVS (GPM speedup over CAP)",
+        ["workload", "persisting_threads", "gpm_vs_capfs", "gpm_vs_capmm"],
+    )
+    kvs_fs = GpKvs().run(Mode.CAP_FS).elapsed
+    kvs_mm = GpKvs().run(Mode.CAP_MM).elapsed
+    kvs_gpm = GpKvs().run(Mode.GPM).elapsed
+    table.add("gpKVS", GpKvs().config.batch_size, kvs_fs / kvs_gpm,
+              kvs_mm / kvs_gpm)
+    bino_fs = BinomialOptions().run(Mode.CAP_FS).elapsed
+    bino_mm = BinomialOptions().run(Mode.CAP_MM).elapsed
+    bino_gpm = BinomialOptions().run(Mode.GPM).elapsed
+    table.add("binomial options", BinomialOptions().config.n_options,
+              bino_fs / bino_gpm, bino_mm / bino_gpm)
+    table.notes.append('one persisting thread per threadblock "leaves '
+                       'little parallelism to exploit in writing and '
+                       'persisting data to PM" (Section 4.3)')
+    return table

@@ -1,0 +1,50 @@
+"""Figure 1: benefits of GPM over CPU-with-PM.
+
+* Fig. 1a - throughput of persistent key-value stores: Intel pmemKV,
+  RocksDB-PM and MatrixKV on the many-core CPU versus MegaKV ported onto
+  GPM (paper: GPM 2.7x / 5.8x / 3.1x faster).
+* Fig. 1b - GPM speedup over multi-threaded CPU PM applications for BFS,
+  SRAD and PS (paper: 27x / 19.2x / 2.8x).
+"""
+
+from __future__ import annotations
+
+from ..baselines import CpuBfs, CpuPrefixSum, CpuSrad, MatrixKvStore, PmemKvStore, RocksDbStore
+from ..system import System
+from ..workloads import GraphBfs, Mode, PrefixSum, Srad
+from .results import ExperimentTable
+from .runner import run_workload
+
+
+def figure1a() -> ExperimentTable:
+    """Throughputs of persistent KVS (batched 8 B SETs)."""
+    table = ExperimentTable(
+        "figure1a", "Figure 1a: throughput of persistent KVS (SETs)",
+        ["system", "throughput_mops", "gpm_speedup", "paper_speedup"],
+    )
+    gpm = run_workload("gpKVS", Mode.GPM).extras["throughput_ops_per_s"]
+    paper = {"Intel PmemKV": 2.7, "RocksDB-PM": 5.8, "MatrixKV": 3.1}
+    for cls in (PmemKvStore, RocksDbStore, MatrixKvStore):
+        store = cls(System())
+        thr = store.throughput()
+        table.add(cls.display_name, thr / 1e6, gpm / thr, paper[cls.display_name])
+    table.add("GPM-KVS", gpm / 1e6, 1.0, 1.0)
+    return table
+
+
+def figure1b() -> ExperimentTable:
+    """GPM speedups over CPU PM applications (BFS, SRAD, PS)."""
+    table = ExperimentTable(
+        "figure1b", "Figure 1b: GPM speedup over CPU PM applications",
+        ["workload", "cpu_ms", "gpm_ms", "speedup", "paper_speedup"],
+    )
+    pairs = [
+        (GraphBfs, CpuBfs, 27.0),
+        (Srad, CpuSrad, 19.2),
+        (PrefixSum, CpuPrefixSum, 2.8),
+    ]
+    for workload_cls, cpu_cls, paper in pairs:
+        gpm = run_workload(workload_cls.name, Mode.GPM).elapsed
+        cpu = cpu_cls(System()).run()
+        table.add(workload_cls.name, cpu * 1e3, gpm * 1e3, cpu / gpm, paper)
+    return table

@@ -1,0 +1,55 @@
+"""Figure 10: understanding GPM's performance, and the eADR projection.
+
+Four configurations, normalised to CAP-fs (log-scale in the paper):
+
+* **GPM-NDP** (No Direct Persistence): kernels still load/store PM
+  directly, but DDIO stays on and the CPU guarantees persistence, as in
+  CAP-mm.  GPM beats it by up to ~6x - direct persistence matters beyond
+  direct access.
+* **GPM**: the full system.
+* **GPM-eADR**: projected future platform where reaching the LLC is
+  durable - no DDIO disabling, no media wait on the fence path.
+* **CAP-eADR**: CAP-mm minus the CPU flushes.
+"""
+
+from __future__ import annotations
+
+from ..workloads import Mode
+from .results import ExperimentTable
+from .runner import run_workload, workload_names
+
+
+def figure10() -> ExperimentTable:
+    table = ExperimentTable(
+        "figure10", "Figure 10: GPM variants and eADR projection (speedup over CAP-fs)",
+        ["workload", "gpm_ndp", "gpm", "gpm_eadr", "cap_eadr"],
+    )
+    for name in workload_names():
+        base = run_workload(name, Mode.CAP_FS).elapsed
+        table.add(
+            name,
+            base / run_workload(name, Mode.GPM_NDP).elapsed,
+            base / run_workload(name, Mode.GPM).elapsed,
+            base / run_workload(name, Mode.GPM_EADR).elapsed,
+            base / run_workload(name, Mode.CAP_EADR).elapsed,
+        )
+    return table
+
+
+def eadr_summary(table: ExperimentTable | None = None) -> dict:
+    """The Fig. 10 headline ratios the paper quotes in the text."""
+    table = table or figure10()
+    ratios_ndp = []
+    ratios_eadr = []
+    ratios_vs_cap = []
+    for row in table.rows:
+        _, ndp, gpm, gpm_eadr, cap_eadr = row
+        ratios_ndp.append(gpm / ndp)
+        ratios_eadr.append(gpm_eadr / gpm)
+        ratios_vs_cap.append(gpm_eadr / cap_eadr)
+    n = len(table.rows)
+    return {
+        "max_gpm_over_ndp": max(ratios_ndp),          # paper: up to 6x
+        "max_eadr_over_gpm": max(ratios_eadr),        # paper: up to 13x
+        "avg_gpm_eadr_over_cap_eadr": sum(ratios_vs_cap) / n,  # paper: 24x avg
+    }

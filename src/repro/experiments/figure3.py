@@ -1,0 +1,79 @@
+"""Figure 3: scaling of persistence with thread count.
+
+The paper's microbenchmark writes and persists 1 GB from either side:
+
+* Fig. 3a - CAP-mm with 1..64 CPU threads: plateaus at 1.47x over one
+  thread (flush-bandwidth Amdahl wall).
+* Fig. 3b - GPM with 32..2048 GPU threads persisting at 8 B granularity:
+  scales past the CPU (to ~4x a single CPU thread) until the PCIe
+  endpoint's bounded outstanding transactions flatten it.
+
+The CPU side runs the actual simulated persist path; the GPU side uses the
+lockstep fence model (a thread cannot overlap its own persist round trips;
+a warp's coalesced round is ``32 x grain`` bytes in
+``ceil(32*grain/128)`` transactions; the endpoint sustains at most
+``pcie_max_outstanding`` of them concurrently).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..sim.config import DEFAULT_CONFIG, SystemConfig
+from ..system import System
+from .results import ExperimentTable
+
+CPU_THREADS = [1, 2, 4, 6, 16, 32, 64]
+GPU_THREADS = [32, 64, 128, 256, 512, 1024, 2048]
+PAPER_CPU = {1: 1.0, 2: 1.20, 4: 1.34, 6: 1.42, 16: 1.46, 32: 1.47, 64: 1.46}
+PAPER_GPU = {32: 0.32, 64: 0.48, 128: 0.93, 256: 1.72, 512: 3.30,
+             1024: 4.04, 2048: 3.97}
+
+#: Scaled transfer size (paper: 1 GB; the model is size-independent).
+TRANSFER_BYTES = 8 << 20
+
+
+def cpu_persist_time(threads: int, nbytes: int = TRANSFER_BYTES) -> float:
+    """Measured simulated time of the CAP-mm CPU persist loop."""
+    system = System()
+    region = system.machine.alloc_pm("fig3.cpu", nbytes)
+    data = np.zeros(nbytes, dtype=np.uint8)
+    return system.cpu.write_and_persist(region, 0, data, threads=threads)
+
+
+def gpu_persist_throughput(n_threads: int, grain: int = 8,
+                           config: SystemConfig = DEFAULT_CONFIG) -> float:
+    """Bytes/s of ``n_threads`` GPU threads persisting at ``grain`` bytes.
+
+    Lockstep model: each fence round a warp emits ``ceil(32*grain/128)``
+    coalesced transactions and waits a full PCIe round trip; the endpoint
+    overlaps rounds across warps up to its outstanding-transaction limit.
+    """
+    warps = math.ceil(n_threads / config.gpu_warp_size)
+    tx_per_round = math.ceil(config.gpu_warp_size * grain / config.pcie_tx_bytes)
+    concurrency = min(warps * tx_per_round, config.pcie_max_outstanding)
+    throughput = concurrency * config.pcie_tx_bytes / config.pcie_rtt_s
+    return min(throughput, config.pcie_bw, config.pm_bw_seq_aligned)
+
+
+def figure3() -> ExperimentTable:
+    """Both halves of Fig. 3, normalised to one CAP-mm CPU thread."""
+    table = ExperimentTable(
+        "figure3", "Figure 3: scaling of persistence",
+        ["side", "threads", "speedup", "paper_speedup"],
+    )
+    base = cpu_persist_time(1)
+    for t in CPU_THREADS:
+        table.add("cpu", t, base / cpu_persist_time(t), PAPER_CPU[t])
+    cpu_bw = DEFAULT_CONFIG.cpu_persist_bw_single
+    for t in GPU_THREADS:
+        table.add("gpu", t, gpu_persist_throughput(t) / cpu_bw, PAPER_GPU[t])
+    table.notes.append(
+        "GPU low-thread speedups undershoot the paper (0.12 vs 0.32 at 32 "
+        "threads): the strict lockstep fence model does not credit the "
+        "partial round-trip pipelining real warps achieve; the plateau "
+        "(~3.9x at >=1024 threads) matches."
+    )
+    return table

@@ -1,0 +1,40 @@
+"""Figure 9: speedup of CAP-mm, GPM and GPUfs normalised to CAP-fs.
+
+All eleven workload configurations of the paper's evaluation (gpKVS,
+gpKVS 95:5, gpDB INSERT/UPDATE, the four checkpointing workloads, and the
+three native ones) run under the four persistence systems.  GPUfs entries
+marked ``*`` failed to execute, for the same reasons as in the paper
+(fine-grained per-thread I/O deadlocks; >2 GB files unsupported).
+"""
+
+from __future__ import annotations
+
+from ..host.gpufs import GpufsUnsupported
+from ..workloads import Mode
+from .results import ExperimentTable
+from .runner import run_workload, workload_names
+
+#: Approximate bar heights read off the paper's Fig. 9, for shape checks.
+PAPER_GPM_SPEEDUP = {
+    "gpKVS": 8.0, "gpKVS (95:5)": 7.0, "gpDB (I)": 6.0, "gpDB (U)": 8.0,
+    "DNN": 16.0, "CFD": 17.0, "BLK": 18.0, "HS": 11.0,
+    "BFS": 85.0, "SRAD": 5.0, "PS": 11.0,
+}
+
+
+def figure9() -> ExperimentTable:
+    table = ExperimentTable(
+        "figure9", "Figure 9: speedup over CAP-fs",
+        ["workload", "cap_mm", "gpm", "gpufs", "paper_gpm"],
+    )
+    for name in workload_names():
+        base = run_workload(name, Mode.CAP_FS).elapsed
+        cap_mm = base / run_workload(name, Mode.CAP_MM).elapsed
+        gpm = base / run_workload(name, Mode.GPM).elapsed
+        try:
+            gpufs = base / run_workload(name, Mode.GPUFS).elapsed
+        except GpufsUnsupported:
+            gpufs = "*"
+        table.add(name, cap_mm, gpm, gpufs, PAPER_GPM_SPEEDUP[name])
+    table.notes.append("(*) workload unsupported by GPUfs, as in the paper")
+    return table

@@ -1,0 +1,54 @@
+"""WHISPER-style persistence profiling of the GPMbench workloads.
+
+Nalli et al.'s WHISPER analysis [64] characterised CPU PM applications by
+their persistence *behaviour* - how often they order, how much they write,
+how local the writes are.  The same lens applied to GPM's workloads
+explains every performance result in the paper's evaluation: the profile
+below is the quantitative bridge between Table 1's workload taxonomy and
+Figs. 9-12.
+
+Per workload (under GPM):
+
+* fences issued, and fences per kilobyte persisted (ordering intensity),
+* PM bytes persisted and the media's internal write amplification
+  (random/partial-line RMW overhead),
+* PCIe transactions per kilobyte (coalescing quality),
+* kernels launched (kernel-boundary overhead exposure).
+"""
+
+from __future__ import annotations
+
+from ..workloads import Mode
+from .results import ExperimentTable
+from .runner import run_workload, workload_names
+
+
+def persistence_profile() -> ExperimentTable:
+    table = ExperimentTable(
+        "profile",
+        "Persistence profile of GPMbench under GPM (WHISPER-style)",
+        ["workload", "fences", "fences_per_kb", "pm_kb", "media_amplification",
+         "tx_per_kb", "kernels"],
+    )
+    for name in workload_names():
+        result = run_workload(name, Mode.GPM)
+        stats = result.window.stats
+        kb = stats.pm_bytes_written / 1024
+        amplification = (stats.pm_bytes_written_internal / stats.pm_bytes_written
+                         if stats.pm_bytes_written else 0.0)
+        table.add(
+            name,
+            stats.system_fences,
+            stats.system_fences / kb if kb else 0.0,
+            kb,
+            amplification,
+            stats.pcie_transactions / kb if kb else 0.0,
+            stats.kernels_launched,
+        )
+    table.notes.append(
+        "high fences/KB + high media amplification = the transactional "
+        "class (Fig. 12's low bandwidths); amplification ~1 + low "
+        "fences/KB = the streaming checkpoint class; BFS combines few "
+        "bytes with extreme kernel counts"
+    )
+    return table

@@ -1,0 +1,103 @@
+"""Experiment result tables and tab-separated report output.
+
+The paper's artifact emits one tab-separated file per figure/table
+(``out_figure9.txt`` etc.); :class:`ExperimentTable` mirrors that: a named
+grid of rows that renders to TSV and pretty text, and can be saved under
+``reports/``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentTable:
+    """One reproduced figure or table."""
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} values, table {self.name} has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def to_tsv(self) -> str:
+        lines = ["\t".join(self.headers)]
+        lines += ["\t".join(self._fmt(v) for v in row) for row in self.rows]
+        return "\n".join(lines) + "\n"
+
+    def to_text(self) -> str:
+        """Aligned human-readable rendering with title and notes."""
+        cols = [self.headers] + [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(r[i]) for r in cols) for i in range(len(self.headers))]
+        out = [self.title, "-" * len(self.title)]
+        for r in cols:
+            out.append("  ".join(v.ljust(w) for v, w in zip(r, widths)).rstrip())
+        for note in self.notes:
+            out.append(f"note: {note}")
+        return "\n".join(out) + "\n"
+
+    def to_bars(self, column: str, width: int = 40, log: bool = False) -> str:
+        """ASCII bar chart of one numeric column, labelled by first column.
+
+        ``log=True`` scales bars logarithmically (the paper's Fig. 10 uses
+        a log axis for the same reason).  Non-numeric cells (e.g. GPUfs's
+        ``*``) render as their text.
+        """
+        import math
+
+        idx = self.headers.index(column)
+        values = []
+        for row in self.rows:
+            v = row[idx]
+            values.append(float(v) if isinstance(v, (int, float)) else None)
+        numeric = [v for v in values if v is not None and v > 0]
+        if not numeric:
+            return f"(no numeric data in column {column!r})"
+        top = max(numeric)
+        scale = (lambda v: math.log10(v * 9 / top + 1)) if log else (lambda v: v / top)
+        label_w = max(len(str(r[0])) for r in self.rows)
+        out = [f"{self.title}  [{column}]"]
+        for row, v in zip(self.rows, values):
+            label = str(row[0]).ljust(label_w)
+            if v is None or v <= 0:
+                out.append(f"{label}  {self._fmt(row[idx])}")
+                continue
+            bar = "#" * max(1, round(scale(v) * width))
+            out.append(f"{label}  {bar} {self._fmt(v)}")
+        return "\n".join(out) + "\n"
+
+    def save(self, directory: str = "reports") -> str:
+        """Write ``out_<name>.txt`` (TSV) under ``directory``; returns path."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"out_{self.name}.txt")
+        with open(path, "w") as f:
+            f.write(self.to_tsv())
+        return path
+
+    def column(self, header: str) -> list:
+        i = self.headers.index(header)
+        return [row[i] for row in self.rows]
+
+    def lookup(self, key, column: str):
+        """Value in ``column`` for the row whose first cell equals ``key``."""
+        i = self.headers.index(column)
+        for row in self.rows:
+            if row[0] == key:
+                return row[i]
+        raise KeyError(f"no row {key!r} in table {self.name}")

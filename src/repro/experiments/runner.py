@@ -1,0 +1,50 @@
+"""Cross-mode workload execution with per-process caching.
+
+Several figures slice the same runs (Fig. 9 and Table 4 both need
+GPM/CAP-mm results; Fig. 12 needs the GPM windows), so
+:func:`run_workload_modes` memoises results per (workload lineup index,
+mode) within the process.  Fresh workload instances and fresh systems are
+used for every run - nothing is shared across modes except the cache of
+*results*.
+"""
+
+from __future__ import annotations
+
+from ..host.gpufs import GpufsUnsupported
+from ..workloads import Mode, RunResult, gpmbench_suite
+
+#: (workload name, mode) -> RunResult | GpufsUnsupported
+_cache: dict[tuple[str, Mode], RunResult | GpufsUnsupported] = {}
+
+
+def workload_names() -> list[str]:
+    return [w.name for w in gpmbench_suite()]
+
+
+def _fresh(name: str):
+    for w in gpmbench_suite():
+        if w.name == name:
+            return w
+    raise KeyError(f"unknown workload {name!r}")
+
+
+def run_workload(name: str, mode: Mode) -> RunResult:
+    """Run (or recall) one workload under one mode.
+
+    Raises :class:`GpufsUnsupported` for the GPUfs-incompatible workloads,
+    exactly as the real GPUfs port would fail.
+    """
+    key = (name, mode)
+    if key not in _cache:
+        try:
+            _cache[key] = _fresh(name).run(mode)
+        except GpufsUnsupported as exc:
+            _cache[key] = exc
+    out = _cache[key]
+    if isinstance(out, GpufsUnsupported):
+        raise out
+    return out
+
+
+def clear_cache() -> None:
+    _cache.clear()

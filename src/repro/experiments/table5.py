@@ -1,0 +1,90 @@
+"""Table 5: restoration latency (RL) under GPM.
+
+RL is the time to run the recovery path after a crash, as a percentage of
+the workload's operation time.  Following the paper's methodology:
+
+* transactional workloads measure the **worst case** by crashing just
+  before the batch commits, then timing the undo-from-log recovery kernel;
+* checkpointing workloads time ``gpmcp_restore`` of the last consistent
+  checkpoint;
+* native workloads are skipped - their recovery logic is embedded in the
+  forward kernels (they have no separate recovery program).
+"""
+
+from __future__ import annotations
+
+from ..sim.crash import CrashInjector, SimulatedCrash
+from ..workloads import (
+    BlackScholes,
+    CfdSolver,
+    DnnTraining,
+    GpDb,
+    GpKvs,
+    Hotspot,
+    Mode,
+    make_system,
+)
+from .results import ExperimentTable
+from .runner import run_workload
+
+PAPER_RL_PCT = {
+    "gpKVS": 18.96, "gpDB (I)": 0.01, "gpDB (U)": 10.43,
+    "DNN": 0.12, "CFD": 0.30, "BLK": 0.80, "HS": 1.65,
+}
+
+
+def _transactional_rl(make_workload, crash_after_threads: int) -> float:
+    """Crash just before commit; return the recovery time in seconds."""
+    workload = make_workload()
+    system = make_system(Mode.GPM)
+    injector = CrashInjector(system.machine)
+    injector.arm(crash_after_threads)
+    try:
+        workload.run(Mode.GPM, system=system, crash_injector=injector)
+    except SimulatedCrash:
+        pass
+    else:
+        raise RuntimeError("crash injector did not fire")
+    return workload.recover(system, Mode.GPM)
+
+
+def _checkpoint_rl(workload) -> tuple[float, float]:
+    """(operation time, restore time) for a checkpointing workload."""
+    result = workload.run(Mode.GPM)
+    _, _, target = workload._state
+    system = workload._state[0]
+    start = system.clock.now
+    target.restore()
+    return result.extras["total_time"], system.clock.now - start
+
+
+def table5() -> ExperimentTable:
+    table = ExperimentTable(
+        "table5", "Table 5: restoration latency under GPM",
+        ["workload", "operation_ms", "restore_ms", "rl_pct", "paper_rl_pct"],
+    )
+    # Transactional: worst-case crash at the end of the first batch.
+    kvs = GpKvs()
+    op = run_workload("gpKVS", Mode.GPM).elapsed
+    rl = _transactional_rl(GpKvs, kvs.config.batch_size)
+    table.add("gpKVS", op * 1e3, rl * 1e3, 100 * rl / op, PAPER_RL_PCT["gpKVS"])
+
+    db_i = GpDb("insert")
+    op = run_workload("gpDB (I)", Mode.GPM).elapsed
+    rl = _transactional_rl(lambda: GpDb("insert"), db_i.config.insert_batch)
+    table.add("gpDB (I)", op * 1e3, rl * 1e3, 100 * rl / op, PAPER_RL_PCT["gpDB (I)"])
+
+    db_u = GpDb("update")
+    op = run_workload("gpDB (U)", Mode.GPM).elapsed
+    rl = _transactional_rl(lambda: GpDb("update"), db_u.config.update_batch)
+    table.add("gpDB (U)", op * 1e3, rl * 1e3, 100 * rl / op, PAPER_RL_PCT["gpDB (U)"])
+
+    # Checkpointing: restore the last consistent checkpoint.
+    for cls in (DnnTraining, CfdSolver, BlackScholes, Hotspot):
+        workload = cls()
+        op, rl = _checkpoint_rl(workload)
+        table.add(workload.name, op * 1e3, rl * 1e3, 100 * rl / op,
+                  PAPER_RL_PCT[workload.name])
+    table.notes.append("native workloads have no separate recovery kernel "
+                       "(recovery is embedded), as in the paper")
+    return table

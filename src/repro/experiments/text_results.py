@@ -1,0 +1,73 @@
+"""Section 6.1's in-text quantitative claims.
+
+* Checkpoint-frequency sensitivity: "the DNN training speeds up by 61% and
+  40%, when we checkpointed weights and biases after every 10th and 20th
+  pass" (GPM total time vs the CAP alternative, at two frequencies), and
+  "various workloads' total execution times improved by 19%-122% over
+  different checkpointing frequencies".
+* The CPU-only database comparison: "GPM sped up gpDB (I) and gpDB (U) by
+  3.1x and 6.9x" over an OpenMP port with the same WAL recoverability.
+"""
+
+from __future__ import annotations
+
+from ..baselines import CpuDb
+from ..system import System
+from ..workloads import CfdSolver, DnnTraining, GpDb, Hotspot, Mode
+from .results import ExperimentTable
+from .runner import run_workload
+
+
+def checkpoint_frequency() -> ExperimentTable:
+    """Total-time improvement of GPM over CAP-fs at two checkpoint rates."""
+    table = ExperimentTable(
+        "checkpoint_freq",
+        "Checkpoint-frequency sensitivity: total-time improvement of GPM over CAP-fs",
+        ["workload", "checkpoint_every", "gpm_total_ms", "capfs_total_ms",
+         "improvement_pct"],
+    )
+    # The paper checkpoints every 10th/20th pass, over runs whose compute
+    # dominates; use the same frequencies with enough iterations/timesteps
+    # between checkpoints for the paper's compute:checkpoint duty cycle.
+    def make(cls):
+        if cls is DnnTraining:
+            w = cls()
+        elif cls is CfdSolver:
+            w = cls(steps_per_iteration=40)
+        else:
+            w = cls(steps_per_iteration=100)
+        w.iterations = 20
+        return w
+
+    for cls in (DnnTraining, CfdSolver, Hotspot):
+        for every in (10, 20):
+            gpm = make(cls).run(Mode.GPM, checkpoint_every=every)
+            cap = make(cls).run(Mode.CAP_FS, checkpoint_every=every)
+            g = gpm.extras["total_time"]
+            c = cap.extras["total_time"]
+            table.add(cls.name, every, g * 1e3, c * 1e3, 100 * (c / g - 1.0))
+    table.notes.append("paper: DNN +61%/+40% at every-10th/20th pass; all "
+                       "workloads +19%..+122% across frequencies")
+    return table
+
+
+def cpu_only_db() -> ExperimentTable:
+    """GPM vs the OpenMP CPU port of gpDB (same WAL recoverability)."""
+    table = ExperimentTable(
+        "cpu_db", "gpDB: GPM vs CPU-only (OpenMP) with write-ahead logging",
+        ["query", "gpm_ms", "cpu_ms", "speedup", "paper_speedup"],
+    )
+    db = CpuDb(System(), initial_rows=4096)
+    # INSERT compares at a larger batch (the paper appends 50M rows; at tiny
+    # batches fixed overheads mask the bandwidth gap the paper measures).
+    from ..workloads import DbConfig
+
+    big = GpDb("insert", DbConfig(insert_batch=6144, insert_batches=2,
+                                  initial_rows=4096))
+    gpm_i = big.run(Mode.GPM).elapsed
+    cpu_i = db.insert_batch(6144, seed=1) + db.insert_batch(6144, seed=2)
+    table.add("INSERT", gpm_i * 1e3, cpu_i * 1e3, cpu_i / gpm_i, 3.1)
+    gpm_u = run_workload("gpDB (U)", Mode.GPM).elapsed
+    cpu_u = db.update_batch(768, seed=1) + db.update_batch(768, seed=2)
+    table.add("UPDATE", gpm_u * 1e3, cpu_u * 1e3, cpu_u / gpm_u, 6.9)
+    return table

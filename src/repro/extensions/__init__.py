@@ -1,0 +1,24 @@
+"""Extensions beyond the paper's evaluation.
+
+The paper's Section 3.3 sketches how GPM's design principles extend to
+emerging hardware; this package builds those sketches out:
+
+* :mod:`repro.extensions.cxl` - GPM over CXL 2.0-attached PM, and the
+  Global Persistent Flush (GPF) alternative the paper argues is
+  insufficient for fine-grained in-kernel persistence.
+* :mod:`repro.extensions.redo` - a redo-logging variant of libGPM's undo
+  transactions, trading deferred in-place writes for sequential-only
+  commit latency.
+* :mod:`repro.extensions.delta_checkpoint` - incremental checkpointing
+  with per-chunk double buffering (the CheckFreq direction the paper
+  cites).
+"""
+
+from .cxl import CXL_PROFILE, GpfEngine, cxl_config, cxl_projection, gpf_inadequacy_demo
+from .delta_checkpoint import DeltaCheckpoint, delta_vs_full
+from .redo import REDO_ENTRY_BYTES, RedoTransaction, redo_vs_undo
+
+__all__ = ["CXL_PROFILE", "DeltaCheckpoint", "GpfEngine", "REDO_ENTRY_BYTES",
+           "RedoTransaction", "delta_vs_full",
+           "cxl_config", "cxl_projection", "gpf_inadequacy_demo",
+           "redo_vs_undo"]

@@ -1,0 +1,22 @@
+"""Simulated SIMT GPU: execution hierarchy, kernels, coalescing, fences."""
+
+from .device import Gpu
+from .hierarchy import Dim3, ThreadId, warps_in_block, warps_in_grid
+from .kernel import GpuFault, KernelResult, LaunchAccounting, ThreadContext
+from .memory import DeviceArray
+from .multi import GroupResult, MultiGpu
+
+__all__ = [
+    "DeviceArray",
+    "Dim3",
+    "Gpu",
+    "GpuFault",
+    "GroupResult",
+    "MultiGpu",
+    "KernelResult",
+    "LaunchAccounting",
+    "ThreadContext",
+    "ThreadId",
+    "warps_in_block",
+    "warps_in_grid",
+]

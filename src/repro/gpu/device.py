@@ -1,0 +1,442 @@
+"""The simulated GPU: kernel launches, warp scheduling, bulk transfers.
+
+Execution model
+---------------
+
+:meth:`Gpu.launch` runs a kernel functionally, one thread at a time, in warp
+order.  Persist-grade stores buffered by the threads (see
+:mod:`repro.gpu.kernel`) are delivered to the machine at warp-retire (or
+barrier) boundaries so that lockstep stores coalesce into shared PCIe
+transactions and Optane drain epochs.
+
+Timing model
+------------
+
+The launch's elapsed simulated time is::
+
+    launch_overhead + max(compute, hbm, host_write, host_read)
+
+* ``compute``: charged ops / min(threads, parallel lanes).
+* ``hbm``: bytes moved to/from GDDR6 at the HBM bandwidth.
+* ``host_write``: the larger of (a) the PCIe transaction stream under the
+  link's bounded concurrency, (b) the per-warp fence critical path
+  (``rounds x RTT x waves`` - a thread cannot overlap its own fences), and
+  (c) the Optane media drain time of the written epochs.
+* ``host_read``: PM/DRAM loads over the link.
+
+This reproduces the two behaviours the paper's performance story rests on:
+massive parallelism hides individual persist latency (Fig. 3b rises), and
+the link's bounded concurrency plus the media's pattern sensitivity cap it
+(Fig. 3b plateaus, Fig. 12 varies by workload).
+"""
+
+from __future__ import annotations
+
+import inspect
+import math
+
+import numpy as np
+
+from ..sim.crash import CrashInjector
+from ..sim.machine import Machine
+from ..sim.memory import MemKind, Region
+from ..sim.optane import merge_segments
+from .hierarchy import Dim3, ThreadId, warps_in_grid
+from .kernel import (
+    GpuFault,
+    KernelResult,
+    LaunchAccounting,
+    ThreadContext,
+    _WarpDrainBuffer,
+)
+
+#: Round key for stores that were never explicitly fenced; they drain at
+#: warp retirement ("eventual" durability) without counting as fence rounds.
+_IMPLICIT_ROUND = 1 << 30
+
+
+class _BlockEngine:
+    """Shared machinery between the threads of one launch."""
+
+    def __init__(self, machine: Machine, acct: LaunchAccounting) -> None:
+        self.machine = machine
+        self.acct = acct
+        self._buffers: dict[int, _WarpDrainBuffer] = {}
+        self._warp_rounds: dict[int, int] = {}
+        self._warps_with_writes: set[int] = set()
+
+    # -- metering (called by ThreadContext) -------------------------------
+
+    def meter_read(self, region: Region, nbytes: int) -> None:
+        if region.kind is MemKind.HBM:
+            self.acct.hbm_read_bytes += nbytes
+        else:
+            self.acct.host_read_bytes += nbytes
+
+    def meter_write(self, ctx: ThreadContext, region: Region, offset: int, nbytes: int) -> None:
+        if region.kind is MemKind.HBM:
+            self.acct.hbm_write_bytes += nbytes
+        else:
+            ctx._pending.append((region, offset, nbytes))
+
+    def meter_atomic(self, ctx: ThreadContext, region: Region, offset: int, nbytes: int) -> None:
+        # An atomic is a read-modify-write; over PCIe both directions count.
+        self.acct.ops += 4
+        if region.kind is MemKind.HBM:
+            self.acct.hbm_read_bytes += nbytes
+            self.acct.hbm_write_bytes += nbytes
+        else:
+            self.acct.host_read_bytes += nbytes
+            ctx._pending.append((region, offset, nbytes))
+
+    def fence(self, ctx: ThreadContext) -> None:
+        self.acct.fences += 1
+        self.machine.stats.system_fences += 1
+        ctx._round += 1
+        warp = ctx.tid.warp_global
+        self._warp_rounds[warp] = max(self._warp_rounds.get(warp, 0), ctx._round)
+        if ctx._pending:
+            buf = self._buffers.setdefault(warp, _WarpDrainBuffer())
+            for region, start, length in ctx._pending:
+                buf.add(ctx._round, region, start, length)
+            ctx._pending.clear()
+            self._warps_with_writes.add(warp)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def thread_retired(self, ctx: ThreadContext) -> None:
+        """Move a retiring thread's unfenced stores to the implicit round."""
+        if ctx._pending:
+            warp = ctx.tid.warp_global
+            buf = self._buffers.setdefault(warp, _WarpDrainBuffer())
+            for region, start, length in ctx._pending:
+                buf.add(_IMPLICIT_ROUND, region, start, length)
+            ctx._pending.clear()
+            self._warps_with_writes.add(warp)
+
+    def flush_warp(self, warp_global: int) -> None:
+        buf = self._buffers.pop(warp_global, None)
+        if buf is None:
+            return
+        for round_no in sorted(buf.rounds):
+            for region, starts, lengths in buf.rounds[round_no].values():
+                self._deliver(region, starts, lengths)
+
+    def flush_all(self) -> None:
+        for warp in list(self._buffers):
+            self.flush_warp(warp)
+
+    def _deliver(self, region: Region, starts: list[int], lengths: list[int]) -> None:
+        s, l = merge_segments(np.asarray(starts), np.asarray(lengths))
+        nbytes = int(l.sum())
+        self.acct.host_write_bytes += nbytes
+        self.acct.host_write_tx += self.machine.pcie.transactions_for(s, l)
+        self.acct.pm_media_time += self.machine.io_write_arrival(region, s, l)
+
+    def finish(self) -> None:
+        self.flush_all()
+        self.acct.max_warp_rounds = max(self._warp_rounds.values(), default=0)
+        self.acct.warps_with_host_writes = len(self._warps_with_writes)
+
+
+class Gpu:
+    """The simulated PCIe-attached GPU of the platform."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.config = machine.config
+
+    # ------------------------------------------------------------------
+    # kernel launch
+    # ------------------------------------------------------------------
+
+    def launch(
+        self,
+        kernel,
+        grid_dim,
+        block_dim,
+        args: tuple = (),
+        *,
+        compute_ops_per_thread: int = 0,
+        shared_factory=None,
+        crash_injector: CrashInjector | None = None,
+        advance_clock: bool = True,
+    ) -> KernelResult:
+        """Run ``kernel`` over a grid; returns timing and traffic.
+
+        ``kernel`` is called as ``kernel(ctx, *args)`` per thread.  If it is
+        a generator function, each ``yield`` is a block-wide barrier
+        (``__syncthreads``).  ``shared_factory(block_id)`` builds the
+        block's shared-memory object (default: a fresh dict).
+
+        Raises :class:`~repro.sim.crash.SimulatedCrash` if an armed
+        ``crash_injector`` fires mid-launch; simulated time for the partial
+        execution is still charged.
+
+        ``advance_clock=False`` computes the elapsed time without advancing
+        the machine clock - used by the multi-GPU coordinator, which
+        overlaps several launches and advances by their combined critical
+        path instead.
+        """
+        grid = Dim3.of(grid_dim)
+        block = Dim3.of(block_dim)
+        if block.count > 1024:
+            raise GpuFault(f"block of {block.count} threads exceeds the 1024-thread limit")
+        warp_size = self.config.gpu_warp_size
+        acct = LaunchAccounting()
+        engine = _BlockEngine(self.machine, acct)
+        before = self.machine.stats.snapshot()
+        total_threads = grid.count * block.count
+        acct.ops += compute_ops_per_thread * total_threads
+        self.machine.stats.kernels_launched += 1
+        is_generator = inspect.isgeneratorfunction(kernel)
+        retired = 0
+        crashed = False
+        try:
+            for block_flat in range(grid.count):
+                shared = shared_factory(block_flat) if shared_factory else {}
+                contexts = [
+                    ThreadContext(
+                        ThreadId(grid, block, block_flat, t, warp_size), shared, engine
+                    )
+                    for t in range(block.count)
+                ]
+                if is_generator:
+                    retired = self._run_block_generators(
+                        kernel, contexts, args, engine, retired, crash_injector
+                    )
+                else:
+                    retired = self._run_block_plain(
+                        kernel, contexts, args, engine, warp_size, retired, crash_injector
+                    )
+        except Exception:
+            crashed = True
+            raise
+        finally:
+            engine.finish()
+            frac = retired / total_threads if total_threads else 1.0
+            elapsed = self._launch_elapsed(acct, total_threads, grid, block)
+            if crashed:
+                elapsed *= max(frac, 1.0 / max(total_threads, 1))
+            if advance_clock:
+                self.machine.clock.advance(elapsed)
+        return KernelResult(
+            elapsed=elapsed,
+            accounting=acct,
+            stats_delta=self.machine.stats.delta_since(before),
+            threads=total_threads,
+            warps=warps_in_grid(grid, block, warp_size),
+        )
+
+    def _run_block_plain(self, kernel, contexts, args, engine, warp_size, retired, injector):
+        for w0 in range(0, len(contexts), warp_size):
+            warp_ctxs = contexts[w0 : w0 + warp_size]
+            for ctx in warp_ctxs:
+                kernel(ctx, *args)
+                engine.thread_retired(ctx)
+                retired += 1
+                if injector is not None:
+                    injector.advance(1)
+            engine.flush_warp(warp_ctxs[0].tid.warp_global)
+        return retired
+
+    def _run_block_generators(self, kernel, contexts, args, engine, retired, injector):
+        active = []
+        for ctx in contexts:
+            gen = kernel(ctx, *args)
+            active.append((ctx, gen))
+        while active:
+            still = []
+            newly = 0
+            for ctx, gen in active:
+                try:
+                    next(gen)
+                    still.append((ctx, gen))
+                except StopIteration:
+                    engine.thread_retired(ctx)
+                    retired += 1
+                    newly += 1
+            # Barrier (or block end): all fenced batches become visible in
+            # program order before any post-barrier store.
+            engine.flush_all()
+            if injector is not None:
+                injector.advance(newly)
+            active = still
+        return retired
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+
+    def _launch_elapsed(self, acct: LaunchAccounting, total_threads: int, grid: Dim3, block: Dim3) -> float:
+        cfg = self.config
+        total_warps = warps_in_grid(grid, block, cfg.gpu_warp_size)
+        waves = max(1, math.ceil(total_warps / cfg.gpu_max_resident_warps))
+        compute = acct.ops * cfg.gpu_op_latency_s / max(
+            1, min(total_threads, cfg.gpu_parallel_lanes)
+        )
+        hbm = (acct.hbm_read_bytes + acct.hbm_write_bytes) / cfg.gpu_hbm_bw
+        warps_issuing = max(1, min(acct.warps_with_host_writes, cfg.gpu_max_resident_warps))
+        host_write = self.machine.pcie.fine_grained_write_time(
+            acct.host_write_tx, acct.host_write_bytes, warps_issuing
+        )
+        fence_chain = acct.max_warp_rounds * cfg.pcie_rtt_s * waves
+        host_write = max(host_write, fence_chain, acct.pm_media_time, acct.serial_time)
+        read_warps = max(1, min(total_warps, cfg.gpu_max_resident_warps))
+        host_read = self.machine.pcie.read_time(acct.host_read_bytes, read_warps)
+        return cfg.gpu_kernel_launch_s + max(compute, hbm, host_write, host_read)
+
+    # ------------------------------------------------------------------
+    # bulk transfers (engine-level helpers used by libGPM and baselines)
+    # ------------------------------------------------------------------
+
+    def stream_copy(
+        self,
+        dst: Region,
+        dst_off: int,
+        src: Region,
+        src_off: int,
+        nbytes: int,
+        persist: bool = True,
+    ) -> float:
+        """Device-wide streaming copy kernel (128 B-aligned, coalesced).
+
+        This is the data path of ``gpmcp_checkpoint``/``gpmcp_restore``: a
+        grid of warps streams ``nbytes`` between HBM and host memory with
+        perfectly coalesced accesses, then (optionally) issues one
+        system-scope fence.  Returns elapsed seconds (also advances the
+        clock).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        cfg = self.config
+        self.machine.stats.kernels_launched += 1
+        data = src.read_bytes(src_off, nbytes).copy()
+        dst.write_bytes(dst_off, data)
+        elapsed = cfg.gpu_kernel_launch_s
+        if nbytes:
+            if dst.kind is MemKind.HBM and src.kind is MemKind.HBM:
+                elapsed += 2 * nbytes / cfg.gpu_hbm_bw
+            elif dst.kind is MemKind.HBM:
+                # host -> device restore path
+                elapsed += max(
+                    self.machine.pcie.stream_read_time(nbytes),
+                    nbytes / cfg.gpu_hbm_bw,
+                )
+                if src.kind is MemKind.PM:
+                    elapsed += self.machine.optane.read(0)  # latency term only
+            else:
+                # device -> host streaming write
+                pcie_t = self.machine.pcie.stream_write_time(nbytes)
+                media_t = self.machine.io_write_arrival(dst, [dst_off], [nbytes])
+                elapsed += max(pcie_t, media_t, nbytes / cfg.gpu_hbm_bw)
+                if persist:
+                    self.machine.stats.system_fences += 1
+                    elapsed += cfg.pcie_rtt_s
+        self.machine.clock.advance(elapsed)
+        return elapsed
+
+    def scatter_store_bulk(
+        self,
+        region: Region,
+        offsets: np.ndarray,
+        values: np.ndarray,
+        item_bytes: int,
+        fence_rounds: int = 1,
+        ops_per_item: int = 0,
+    ) -> float:
+        """A data-parallel kernel of scattered stores + persists, vectorised.
+
+        Equivalent to launching one thread per item where thread *i* stores
+        ``item_bytes`` at byte offset ``offsets[i]`` and fences - but the
+        warp grouping, coalescing, Optane epochs and timing are computed
+        with numpy so large native-persistence workloads (BFS frontiers,
+        SRAD planes) stay tractable.  Items are assigned to warps of 32 in
+        order, as the launch engine would.  Returns elapsed seconds.
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        n = offsets.size
+        cfg = self.config
+        self.machine.stats.kernels_launched += 1
+        if n == 0:
+            self.machine.clock.advance(cfg.gpu_kernel_launch_s)
+            return cfg.gpu_kernel_launch_s
+        raw = np.frombuffer(np.ascontiguousarray(values).tobytes(), dtype=np.uint8)
+        if raw.size != n * item_bytes:
+            raise ValueError(
+                f"values supply {raw.size} bytes for {n} items of {item_bytes} B"
+            )
+        flat = raw.reshape(n, item_bytes)
+        # Functional scatter.
+        vis = region.visible
+        for off, row in zip(offsets.tolist(), flat):
+            vis[off : off + item_bytes] = row
+        lengths = np.full(n, item_bytes, dtype=np.int64)
+        nbytes_total = n * item_bytes
+        if region.kind is MemKind.HBM:
+            # Device-local scatter: only compute + HBM bandwidth matter.
+            self.machine.stats.hbm_bytes_written += nbytes_total
+            compute = ops_per_item * n * cfg.gpu_op_latency_s / max(
+                1, min(n, cfg.gpu_parallel_lanes)
+            )
+            elapsed = cfg.gpu_kernel_launch_s + max(
+                nbytes_total / cfg.gpu_hbm_bw, compute
+            )
+            self.machine.clock.advance(elapsed)
+            return elapsed
+        # Warp-granular coalescing + delivery.
+        warp = cfg.gpu_warp_size
+        n_warps = (n + warp - 1) // warp
+        total_tx = 0
+        media = 0.0
+        for w in range(n_warps):
+            s = offsets[w * warp : (w + 1) * warp]
+            l = lengths[w * warp : (w + 1) * warp]
+            ms, ml = merge_segments(s, l)
+            total_tx += self.machine.pcie.transactions_for(ms, ml)
+            media += self.machine.io_write_arrival(region, ms, ml)
+        nbytes = n * item_bytes
+        self.machine.stats.system_fences += fence_rounds * n
+        warps_issuing = min(n_warps, cfg.gpu_max_resident_warps)
+        pcie_t = self.machine.pcie.fine_grained_write_time(total_tx, nbytes, warps_issuing)
+        waves = max(1, math.ceil(n_warps / cfg.gpu_max_resident_warps))
+        fence_chain = fence_rounds * cfg.pcie_rtt_s * waves
+        compute = ops_per_item * n * cfg.gpu_op_latency_s / max(1, min(n, cfg.gpu_parallel_lanes))
+        elapsed = cfg.gpu_kernel_launch_s + max(pcie_t, fence_chain, media, compute)
+        self.machine.clock.advance(elapsed)
+        return elapsed
+
+    def compute(self, total_ops: float, active_threads: int | None = None) -> float:
+        """Charge a compute-only kernel of ``total_ops`` arithmetic operations.
+
+        Used by workloads whose math runs vectorised on the host for speed
+        (DNN training, CFD, stencils): the *function* is computed with
+        numpy, the *time* is modelled here as a GPU kernel with the given
+        parallelism.  Returns elapsed seconds (also advances the clock).
+        """
+        cfg = self.config
+        self.machine.stats.kernels_launched += 1
+        lanes = cfg.gpu_parallel_lanes
+        if active_threads is not None:
+            lanes = max(1, min(active_threads, lanes))
+        elapsed = cfg.gpu_kernel_launch_s + total_ops * cfg.gpu_op_latency_s / lanes
+        self.machine.clock.advance(elapsed)
+        return elapsed
+
+    def store_and_persist_value(self, region: Region, offset: int, value, dtype=np.uint32) -> float:
+        """One store + system fence from a single GPU thread.
+
+        Used for tiny metadata persists (transaction flags, checkpoint
+        flips) issued outside a kernel's data path.
+        """
+        dtype = np.dtype(dtype)
+        arr = np.asarray(value, dtype=dtype)
+        raw = np.frombuffer(arr.tobytes(), dtype=np.uint8)
+        region.write_bytes(offset, raw)
+        media = self.machine.io_write_arrival(region, [offset], [len(raw)])
+        self.machine.stats.system_fences += 1
+        self.machine.stats.pcie_transactions += 1
+        self.machine.stats.pcie_bytes_to_host += len(raw)
+        elapsed = self.machine.config.pcie_rtt_s + media
+        self.machine.clock.advance(elapsed)
+        return elapsed

@@ -1,0 +1,87 @@
+"""Typed array views over simulated memory regions.
+
+Workload kernels overwhelmingly address memory as typed arrays; a
+:class:`DeviceArray` binds (region, dtype, offset, count) and offers both
+*metered* element access from inside kernels (through a
+:class:`~repro.gpu.kernel.ThreadContext`) and *unmetered* numpy views for
+host-side setup and test verification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.memory import Region
+from .kernel import ThreadContext
+
+
+class DeviceArray:
+    """A typed window into a region, usable from kernels and host code."""
+
+    def __init__(self, region: Region, dtype, offset: int = 0, count: int | None = None) -> None:
+        self.region = region
+        self.dtype = np.dtype(dtype)
+        self.offset = offset
+        max_count = (region.size - offset) // self.dtype.itemsize
+        self.count = max_count if count is None else count
+        if self.count < 0 or self.count > max_count:
+            raise ValueError(
+                f"count {count} does not fit region {region.name!r} at offset {offset}"
+            )
+
+    # -- layout ----------------------------------------------------------
+
+    def byte_offset(self, index: int) -> int:
+        """Byte address within the region of element ``index``."""
+        if index < 0 or index >= self.count:
+            raise IndexError(f"index {index} out of range [0, {self.count})")
+        return self.offset + index * self.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.dtype.itemsize
+
+    def __len__(self) -> int:
+        return self.count
+
+    # -- metered (in-kernel) access ---------------------------------------
+
+    def read(self, ctx: ThreadContext, index: int):
+        """Load one element from inside a kernel."""
+        return ctx.load(self.region, self.byte_offset(index), self.dtype)
+
+    def write(self, ctx: ThreadContext, index: int, value) -> None:
+        """Store one element from inside a kernel."""
+        ctx.store(self.region, self.byte_offset(index), value, self.dtype)
+
+    def read_vec(self, ctx: ThreadContext, index: int, n: int) -> np.ndarray:
+        """Load ``n`` consecutive elements."""
+        return ctx.load(self.region, self.byte_offset(index), self.dtype, count=n)
+
+    def write_vec(self, ctx: ThreadContext, index: int, values) -> None:
+        """Store consecutive elements starting at ``index``."""
+        values = np.asarray(values, dtype=self.dtype)
+        if index + values.size > self.count:
+            raise IndexError("vector store overruns array")
+        ctx.store(self.region, self.byte_offset(index), values, self.dtype)
+
+    def atomic_add(self, ctx: ThreadContext, index: int, value):
+        return ctx.atomic_add(self.region, self.byte_offset(index), value, self.dtype)
+
+    def atomic_cas(self, ctx: ThreadContext, index: int, expected, desired):
+        return ctx.atomic_cas(self.region, self.byte_offset(index), expected, desired, self.dtype)
+
+    def atomic_max(self, ctx: ThreadContext, index: int, value):
+        return ctx.atomic_max(self.region, self.byte_offset(index), value, self.dtype)
+
+    # -- unmetered host-side access ----------------------------------------
+
+    @property
+    def np(self) -> np.ndarray:
+        """Unmetered numpy view of the visible image (setup/verification)."""
+        return self.region.view(self.dtype, self.offset, self.count)
+
+    @property
+    def np_persisted(self) -> np.ndarray:
+        """Unmetered view of the persisted image (PM regions only)."""
+        return self.region.persisted_view(self.dtype, self.offset, self.count)

@@ -1,0 +1,20 @@
+"""Host-side software: CPU persistence paths, DAX filesystem, DMA, CAP."""
+
+from .cap import CapEngine, CapMode
+from .cpu import Cpu
+from .dma import DmaEngine
+from .filesystem import DaxFilesystem, FsError, PmFile
+from .gpufs import GPUFS_PAGE_BYTES, GpuFs, GpufsUnsupported
+
+__all__ = [
+    "CapEngine",
+    "CapMode",
+    "Cpu",
+    "DaxFilesystem",
+    "DmaEngine",
+    "FsError",
+    "GPUFS_PAGE_BYTES",
+    "GpuFs",
+    "GpufsUnsupported",
+    "PmFile",
+]

@@ -1,0 +1,149 @@
+"""CPU-side software model: stores, flushes, drains, non-temporal stores.
+
+This is the machinery CAP relies on (Section 3): after results reach host
+DRAM, CPU threads copy them into PM-mapped memory and guarantee persistence
+with a CLFLUSHOPT loop plus an SFENCE drain (or bypass caches with
+non-temporal stores when generating data locally - note Section 3 points out
+CAP-mm *cannot* use nt-stores because the data arrives from the GPU via the
+LLC, not from the CPU's own stores).
+
+Timing: one thread persists at
+:attr:`~repro.sim.config.SystemConfig.cpu_persist_bw_single`; adding threads
+follows the Amdahl curve calibrated against Fig. 3(a) (plateau 1.47x); the
+Optane media time of the flush-grain epochs is a hard lower bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.machine import Machine
+from ..sim.memory import MemKind, Region
+
+
+class Cpu:
+    """Multi-core host CPU issuing stores, flushes and drains."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.config = machine.config
+
+    def _clamp_threads(self, threads: int | None) -> int:
+        if threads is None:
+            return self.config.cpu_max_threads
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        return min(threads, self.config.cpu_max_threads)
+
+    # ------------------------------------------------------------------
+
+    def store(self, region: Region, offset: int, data) -> None:
+        """Plain stores: visible immediately, dirty in the cache, untimed.
+
+        Use the ``*_persist`` methods when the caller needs both timing and
+        durability.
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        region.write_bytes(offset, data)
+        self.machine.cpu_store_arrival(region, offset, data.size)
+
+    def memcpy(self, dst: Region, dst_off: int, src: Region, src_off: int,
+               nbytes: int, threads: int | None = 1) -> float:
+        """Volatile memcpy between host regions; returns elapsed seconds."""
+        threads = self._clamp_threads(threads)
+        data = src.read_bytes(src_off, nbytes)
+        dst.write_bytes(dst_off, data.copy())
+        self.machine.cpu_store_arrival(dst, dst_off, nbytes)
+        elapsed = nbytes / (self.config.cpu_memcpy_bw_single
+                            * self.config.cpu_persist_speedup(threads))
+        self.machine.clock.advance(elapsed)
+        return elapsed
+
+    # ------------------------------------------------------------------
+
+    def write_and_persist(self, region: Region, offset: int, data,
+                          threads: int | None = None, random: bool = False) -> float:
+        """Store ``data`` to PM and persist it with a flush+drain loop.
+
+        The canonical CAP-mm inner loop: store, CLFLUSHOPT each 64 B line,
+        SFENCE.  Returns elapsed seconds (also advances the clock).
+        """
+        data = np.asarray(data, dtype=np.uint8).ravel()
+        region.write_bytes(offset, data)
+        return self.persist_range(region, offset, data.size, threads=threads, random=random)
+
+    def persist_range(self, region: Region, offset: int, size: int,
+                      threads: int | None = None, random: bool = False) -> float:
+        """Flush+drain ``[offset, offset+size)`` of a PM region.
+
+        Persists whatever is currently visible (e.g. data a DMA already
+        deposited, or GPU stores parked in the LLC under GPM-NDP).
+        """
+        if region.kind is not MemKind.PM:
+            raise ValueError("persist_range targets PM regions")
+        threads = self._clamp_threads(threads)
+        self.machine.stats.cpu_drains += 1
+        media = self.machine.optane.write_flush_grain(
+            region, offset, size, grain=self.config.cpu_cache_line_bytes, random=random
+        )
+        self.machine.llc.drop_range(region, offset, size)
+        sw = size / (self.config.cpu_persist_bw_single
+                     * self.config.cpu_persist_speedup(threads))
+        self.machine.stats.pm_bytes_written_by_cpu += size
+        elapsed = max(sw, media)
+        self.machine.clock.advance(elapsed)
+        return elapsed
+
+    def persist_scattered(self, region: Region, starts, lengths,
+                          threads: int | None = None) -> float:
+        """Flush+drain many scattered segments (random-pattern pricing)."""
+        starts = np.atleast_1d(np.asarray(starts, dtype=np.int64))
+        lengths = np.atleast_1d(np.asarray(lengths, dtype=np.int64))
+        threads = self._clamp_threads(threads)
+        self.machine.stats.cpu_drains += 1
+        media = 0.0
+        total = 0
+        for s, l in zip(starts.tolist(), lengths.tolist()):
+            media += self.machine.optane.write_flush_grain(
+                region, s, l, grain=self.config.cpu_cache_line_bytes, random=True
+            )
+            self.machine.llc.drop_range(region, s, l)
+            total += l
+        sw = total / (self.config.cpu_persist_bw_single
+                      * self.config.cpu_persist_speedup(threads))
+        self.machine.stats.pm_bytes_written_by_cpu += total
+        elapsed = max(sw, media)
+        self.machine.clock.advance(elapsed)
+        return elapsed
+
+    def nt_write_and_persist(self, region: Region, offset: int, data,
+                             threads: int | None = None) -> float:
+        """Non-temporal stores + drain: bypasses the cache to PM.
+
+        Only valid when the CPU itself generates the data (CPU-only
+        baselines); CAP-mm cannot use this path (Section 3).
+        """
+        data = np.asarray(data, dtype=np.uint8).ravel()
+        threads = self._clamp_threads(threads)
+        region.write_bytes(offset, data)
+        media = self.machine.cpu_nt_store_arrival(region, [offset], [data.size])
+        self.machine.stats.cpu_drains += 1
+        sw = data.size / (self.config.cpu_nt_store_bw_single
+                          * self.config.cpu_persist_speedup(threads))
+        elapsed = max(sw, media)
+        self.machine.clock.advance(elapsed)
+        return elapsed
+
+    def compute(self, total_ops: int, threads: int | None = None,
+                op_latency: float = 1.0e-9) -> float:
+        """Charge pure CPU compute of ``total_ops`` over ``threads`` cores."""
+        threads = self._clamp_threads(threads)
+        elapsed = total_ops * op_latency / threads
+        self.machine.clock.advance(elapsed)
+        return elapsed
+
+    def read_pm(self, region: Region, offset: int, size: int, random: bool = False) -> float:
+        """Timed PM read (media-side cost only)."""
+        elapsed = self.machine.optane.read(size, random=random)
+        self.machine.clock.advance(elapsed)
+        return elapsed

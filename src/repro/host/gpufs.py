@@ -1,0 +1,78 @@
+"""GPUfs-style baseline: filesystem system calls from GPU kernels.
+
+Section 6.1 compares GPM against GPUfs [87], which exposes ``gread``/
+``gwrite`` to GPU code but still relies on the CPU and OS for persistence.
+The comparison's findings, which this model reproduces:
+
+* GPUfs requires **all threads of a threadblock** to invoke its API
+  (calls are ordered by block-wide barriers); workloads where individual
+  threads persist fine-grained data deadlock - so the transactional and
+  most native-persistence workloads simply cannot run.
+* Files are limited to **2 GB**, so BLK (4 GB) and HS (2 GB) fail at
+  *paper scale* (support is judged against the paper's input sizes, not
+  our scaled-down ones).
+* Workloads that do run pay a per-call GPU->CPU RPC cost plus the CAP-fs
+  style OS persistence path, ending up slower than CAP-fs (0.1-0.7x).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..sim.memory import MemKind, Region
+from .filesystem import PmFile
+
+
+class GpufsUnsupported(Exception):
+    """The workload cannot run on GPUfs; carries the reason."""
+
+    FINE_GRAIN = "per-thread fine-grained I/O deadlocks GPUfs"
+    FILE_TOO_LARGE = "GPUfs only supports files up to 2GB"
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+#: gwrite granularity: one call per threadblock per buffer page.
+GPUFS_PAGE_BYTES = 16 * 1024
+#: Concurrent RPC channels between GPU and the GPUfs CPU daemon.
+GPUFS_RPC_CHANNELS = 1
+
+
+class GpuFs:
+    """The GPUfs persistence path for coarse-grain workloads."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+
+    def check_supported(self, paper_file_bytes: int, fine_grained: bool) -> None:
+        """Raise :class:`GpufsUnsupported` if the workload cannot run."""
+        if fine_grained:
+            raise GpufsUnsupported(GpufsUnsupported.FINE_GRAIN)
+        if paper_file_bytes > self.system.config.gpufs_max_file_bytes:
+            raise GpufsUnsupported(GpufsUnsupported.FILE_TOO_LARGE)
+
+    def gwrite_bulk(self, src: Region, src_off: int, dst: PmFile, dst_off: int,
+                    nbytes: int, paper_file_bytes: int,
+                    fine_grained: bool = False) -> float:
+        """Persist ``nbytes`` of GPU results through gwrite + OS.
+
+        Threadblocks issue one gwrite RPC per 64 KB page; the CPU daemon
+        writes pages into the PM file and fsyncs.  Returns elapsed seconds.
+        """
+        self.check_supported(paper_file_bytes, fine_grained)
+        if src.kind is not MemKind.HBM:
+            raise ValueError("gwrite sources data from GPU memory")
+        machine = self.system.machine
+        start = machine.clock.now
+        n_calls = max(1, math.ceil(nbytes / GPUFS_PAGE_BYTES))
+        rpc_time = n_calls * self.system.config.gpufs_call_s / GPUFS_RPC_CHANNELS
+        machine.stats.syscalls += n_calls
+        machine.clock.advance(rpc_time)
+        # Data path: DMA pages to host, then the CAP-fs style write+fsync.
+        data = src.read_bytes(src_off, nbytes).copy()
+        machine.clock.advance(machine.pcie.dma_time(nbytes))
+        self.system.fs.write(dst, dst_off, data)
+        self.system.fs.fsync(dst)
+        return machine.clock.now - start

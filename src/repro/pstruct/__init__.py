@@ -1,0 +1,21 @@
+"""Crash-consistent persistent data structures built on libGPM.
+
+The paper's contribution is the *mechanism* (fine-grained in-kernel
+persistence) and a library of primitives; this package is the layer a
+downstream adopter would build next - reusable, recoverable data
+structures whose crash consistency is enforced by libGPM's logging,
+fences, and sentinel disciplines:
+
+* :class:`~repro.pstruct.hashmap.PersistentHashMap` - a set-associative
+  u64 -> u64 map with undo-logged batched inserts (the gpKVS recipe of
+  Fig. 6, packaged as a library type).
+* :class:`~repro.pstruct.ring.PersistentRing` - a multi-producer append
+  ring where GPU threads reserve slots with an atomic cursor and commit
+  entries with a persisted-sequence sentinel, so consumers (and recovery)
+  see every committed entry and no torn ones.
+"""
+
+from .hashmap import PersistentHashMap
+from .ring import PersistentRing
+
+__all__ = ["PersistentHashMap", "PersistentRing"]

@@ -1,0 +1,154 @@
+"""A multi-producer persistent append ring for GPU threads.
+
+Thousands of GPU threads append records concurrently; each record must be
+either fully durable or invisible after a crash.  The design uses the
+sentinel discipline of HCL's tail index (Section 5.2) at per-entry
+granularity:
+
+1. the producer reserves a ticket with an atomic fetch-add on a PM cursor;
+2. it writes the payload into the ticket's slot and **persists it**;
+3. only then does it write and persist the slot's sequence word
+   (``ticket + 1``, never 0) - the commit sentinel.
+
+A crash between (2) and (3) leaves a *hole*: the payload bytes may be on
+PM but the sequence word is 0, so readers never observe a torn record.
+Recovery-time consumers use :meth:`committed` (every committed record, in
+ticket order) or :meth:`durable_prefix` (the gap-free prefix, for
+consumers that need exactly-once, in-order handoff).
+
+This build targets the append-only regime (at most ``capacity`` records
+between :meth:`reset` calls), which is the checkpoint/journal pattern GPM
+workloads need; wrap-around reclamation would add a consumer cursor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import GpmError
+from ..core.mapping import gpm_map
+from ..gpu.memory import DeviceArray
+
+_MAGIC = 0x50524E47  # "PRNG"
+_HEADER_BYTES = 128
+_CURSOR_OFF = 16
+ENTRY_BYTES = 16  # [seq u64 | value u64]
+
+
+class PersistentRing:
+    """An append-only, crash-consistent record ring on PM."""
+
+    def __init__(self, system, path: str) -> None:
+        self.system = system
+        self.path = path
+        self.gpm = gpm_map(system, path)
+        header = self.gpm.view(np.uint32, 0, 2)
+        if int(header[0]) != _MAGIC:
+            raise GpmError(f"{path!r} is not a PersistentRing")
+        self.capacity = int(header[1])
+        self._slots = self.gpm.array(np.uint64, _HEADER_BYTES,
+                                     self.capacity * 2)
+
+    @classmethod
+    def create(cls, system, path: str, capacity: int) -> "PersistentRing":
+        if capacity <= 0:
+            raise GpmError("capacity must be positive")
+        size = _HEADER_BYTES + capacity * ENTRY_BYTES
+        region = gpm_map(system, path, size, create=True)
+        header = region.view(np.uint32, 0, 2)
+        header[0] = _MAGIC
+        header[1] = capacity
+        region.region.persist_range(0, _HEADER_BYTES)
+        return cls(system, path)
+
+    @classmethod
+    def open(cls, system, path: str) -> "PersistentRing":
+        return cls(system, path)
+
+    # -- device API -------------------------------------------------------------
+
+    def append(self, ctx, value: int) -> int:
+        """Append one record from a GPU thread; returns its ticket.
+
+        Must run inside a persistence window for the commit sentinel to
+        mean anything.  Raises once the ring is full (append-only build).
+        """
+        ticket = int(ctx.atomic_add(self.gpm.region, _CURSOR_OFF, 1, np.uint64))
+        if ticket >= self.capacity:
+            raise GpmError(f"ring {self.path!r} full ({self.capacity} records)")
+        slot = ticket % self.capacity
+        # payload first...
+        self._slots.write(ctx, slot * 2 + 1, np.uint64(value))
+        ctx.persist()
+        # ...then the commit sentinel
+        self._slots.write(ctx, slot * 2, np.uint64(ticket + 1))
+        ctx.persist()
+        return ticket
+
+    # -- host API ----------------------------------------------------------------
+
+    def _view(self, durable: bool) -> np.ndarray:
+        arr = self._slots.np_persisted if durable else self._slots.np
+        return arr.reshape(self.capacity, 2)
+
+    def reserved(self) -> int:
+        """Tickets handed out (including ones whose commit was lost)."""
+        return int(self.gpm.view(np.uint64, _CURSOR_OFF, 1)[0])
+
+    def committed(self, durable: bool = True) -> list[tuple[int, int]]:
+        """Every committed (ticket, value), in ticket order."""
+        slots = self._view(durable)
+        seqs = slots[:, 0]
+        present = np.flatnonzero(seqs)
+        order = np.argsort(seqs[present])
+        return [(int(seqs[i]) - 1, int(slots[i, 1]))
+                for i in present[order].tolist()]
+
+    def durable_prefix(self) -> list[tuple[int, int]]:
+        """The gap-free committed prefix (exactly-once consumers)."""
+        out = []
+        for expected, (ticket, value) in enumerate(self.committed(durable=True)):
+            if ticket != expected:
+                break
+            out.append((ticket, value))
+        return out
+
+    def holes(self) -> list[int]:
+        """Tickets that were reserved but never durably committed."""
+        committed = {t for t, _ in self.committed(durable=True)}
+        # The durable cursor may itself lag; holes are judged against the
+        # highest committed ticket (anything reserved beyond it that never
+        # committed is indistinguishable from never-reserved).
+        horizon = max(committed) + 1 if committed else 0
+        return [t for t in range(horizon) if t not in committed]
+
+    def recover(self) -> int:
+        """Repair the cursor after a crash; returns the next free ticket.
+
+        The cursor's own last increments may not have persisted, so after a
+        crash it can lag the highest committed ticket - new appends would
+        then overwrite committed records.  Recovery advances it past every
+        committed record (holes stay holes) and persists it.
+        """
+        committed = self.committed(durable=True)
+        next_ticket = (max(t for t, _ in committed) + 1) if committed else 0
+        cursor = self.gpm.view(np.uint64, _CURSOR_OFF, 1)
+        if int(cursor[0]) < next_ticket:
+            cursor[0] = next_ticket
+        self.gpm.region.persist_range(_CURSOR_OFF, 8)
+        elapsed = self.system.machine.optane.write_flush_grain(
+            self.gpm.region, _CURSOR_OFF, 8, grain=64
+        )
+        self.system.machine.clock.advance(elapsed)
+        return int(cursor[0])
+
+    def reset(self) -> None:
+        """Truncate the ring (host-side, durable)."""
+        self.gpm.view(np.uint64, _CURSOR_OFF, 1)[0] = 0
+        self._slots.np[:] = 0
+        region = self.gpm.region
+        region.persist_range(0, region.size)
+        elapsed = self.system.machine.optane.write_flush_grain(
+            region, 0, region.size, grain=256
+        )
+        self.system.machine.clock.advance(elapsed)

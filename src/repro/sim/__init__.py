@@ -1,0 +1,35 @@
+"""Simulated hardware substrate for the GPM reproduction.
+
+This package models the machine of the paper's Table 3 - a Xeon server with
+Optane persistent memory and a PCIe-attached NVIDIA GPU - at the level of
+detail GPM's mechanisms depend on: persistence domains, the DDIO/LLC
+volatility gap, Optane's pattern-dependent bandwidth, and the PCIe link's
+bounded concurrency.
+"""
+
+from .clock import SimClock, Span
+from .config import DEFAULT_CONFIG, SystemConfig
+from .crash import CrashInjector, SimulatedCrash
+from .machine import Machine
+from .memory import CRASH_POISON, MemKind, Region
+from .optane import OptaneModel, merge_segments
+from .pcie import PcieModel
+from .stats import MachineStats, WindowedStats
+
+__all__ = [
+    "CRASH_POISON",
+    "CrashInjector",
+    "DEFAULT_CONFIG",
+    "Machine",
+    "MachineStats",
+    "MemKind",
+    "OptaneModel",
+    "PcieModel",
+    "Region",
+    "SimClock",
+    "SimulatedCrash",
+    "Span",
+    "SystemConfig",
+    "WindowedStats",
+    "merge_segments",
+]

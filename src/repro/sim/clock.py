@@ -1,0 +1,62 @@
+"""Simulated time.
+
+The reproduction measures *simulated* seconds, not wall-clock time: every
+modelled hardware action (a DMA, a kernel, a flush loop) computes its elapsed
+time analytically from :class:`~repro.sim.config.SystemConfig` and advances a
+:class:`SimClock`.  Experiments report ratios of simulated durations, which is
+what the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    Also supports named *spans* so experiments can attribute time to a phase
+    (e.g. "checkpoint" vs "compute") and compute bandwidths over it
+    (Fig. 12 divides PCIe write bytes by kernel time).
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Advance simulated time by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r} s")
+        self._now += seconds
+
+    @contextmanager
+    def span(self):
+        """Context manager yielding a :class:`Span` over the enclosed work."""
+        s = Span(self, self._now)
+        try:
+            yield s
+        finally:
+            s.close()
+
+
+class Span:
+    """A (start, end) interval of simulated time."""
+
+    def __init__(self, clock: SimClock, start: float) -> None:
+        self._clock = clock
+        self.start = start
+        self.end: float | None = None
+
+    def close(self) -> None:
+        if self.end is None:
+            self.end = self._clock.now
+
+    @property
+    def elapsed(self) -> float:
+        end = self.end if self.end is not None else self._clock.now
+        return end - self.start

@@ -1,0 +1,92 @@
+"""Crash injection for recoverability stress tests.
+
+Section 6.2 of the paper stress-tests recovery by injecting faults at random
+points during kernel execution with NVBitFI, a binary-instrumentation fault
+injector.  Our analogue hooks the GPU engine's per-thread dispatch: a
+:class:`CrashInjector` is armed with a *crash point* (a count of thread
+completions, optionally chosen at random), and when the kernel engine
+crosses it the machine crashes mid-kernel - threads already retired keep
+whatever they persisted, in-flight unfenced stores are lost, and everything
+volatile disappears.
+
+Usage::
+
+    injector = CrashInjector(machine, rng)
+    injector.arm_random(max_threads=grid_threads)
+    try:
+        gpu.launch(kernel, grid, block, args, crash_injector=injector)
+    except SimulatedCrash:
+        ...   # machine.crash() has been applied; run recovery
+
+The injector counts retired threads cumulatively across launches, so one
+armed point covers multi-kernel workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .machine import Machine
+
+
+class SimulatedCrash(Exception):
+    """Raised by the GPU engine when an armed crash point is crossed."""
+
+    def __init__(self, threads_retired: int) -> None:
+        super().__init__(f"simulated crash after {threads_retired} threads retired")
+        self.threads_retired = threads_retired
+
+
+class CrashInjector:
+    """Arms and fires mid-kernel crashes on a machine."""
+
+    def __init__(self, machine: Machine, rng: np.random.Generator | None = None) -> None:
+        self._machine = machine
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._crash_after: int | None = None
+        self.fired = False
+        #: threads retired since arming, cumulative across kernel launches
+        self.threads_seen = 0
+
+    @property
+    def armed(self) -> bool:
+        return self._crash_after is not None and not self.fired
+
+    @property
+    def crash_after(self) -> int | None:
+        return self._crash_after
+
+    def arm(self, crash_after_threads: int) -> None:
+        """Crash once ``crash_after_threads`` threads have retired.
+
+        The count is cumulative across kernel launches from the moment of
+        arming, so a crash point can land in any launch of a multi-kernel
+        workload (as NVBitFI's random injection would).
+        """
+        if crash_after_threads < 0:
+            raise ValueError("crash point must be non-negative")
+        self._crash_after = crash_after_threads
+        self.fired = False
+        self.threads_seen = 0
+
+    def arm_random(self, max_threads: int) -> int:
+        """Arm a uniformly random crash point in ``[0, max_threads)``."""
+        if max_threads <= 0:
+            raise ValueError("max_threads must be positive")
+        point = int(self._rng.integers(0, max_threads))
+        self.arm(point)
+        return point
+
+    def disarm(self) -> None:
+        self._crash_after = None
+
+    def advance(self, newly_retired: int) -> None:
+        """Called by the kernel engine; crashes the machine if due."""
+        if self._crash_after is None or self.fired:
+            return
+        self.threads_seen += newly_retired
+        if self.threads_seen >= self._crash_after:
+            self.fired = True
+            self._machine.crash()
+            raise SimulatedCrash(self.threads_seen)
+

@@ -1,0 +1,173 @@
+"""The simulated machine: devices, persistence domains, and crash semantics.
+
+:class:`Machine` composes the memory devices (:mod:`repro.sim.memory`), the
+Optane model, the LLC/DDIO boundary, the PCIe link, a simulated clock and the
+traffic counters into one object with a small set of *hardware primitives*:
+
+* routing of inbound I/O (GPU) writes to host memory, honouring DDIO;
+* CPU store / flush / non-temporal-store paths to PM;
+* the DDIO enable/disable switch (the paper writes the ``perfctrlsts_0``
+  I/O register; we flip a bit);
+* :meth:`crash` - power-failure semantics over every region and the cache.
+
+Higher layers (:mod:`repro.gpu`, :mod:`repro.host`, :mod:`repro.core`) build
+the GPU engine, CPU software and libGPM on top of these primitives; they
+never touch ``Region.persisted`` directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cache import LastLevelCache
+from .clock import SimClock
+from .config import DEFAULT_CONFIG, SystemConfig
+from .memory import MemKind, Region
+from .optane import OptaneModel
+from .pcie import PcieModel
+from .stats import MachineStats
+
+
+class Machine:
+    """One simulated Xeon + Optane + GPU platform."""
+
+    def __init__(self, config: SystemConfig = DEFAULT_CONFIG, eadr: bool = False) -> None:
+        self.config = config
+        self.eadr = eadr
+        self.clock = SimClock()
+        self.stats = MachineStats()
+        self.optane = OptaneModel(config, self.stats)
+        self.llc = LastLevelCache(config, self.stats, self.optane)
+        self.pcie = PcieModel(config, self.stats)
+        #: DDIO steers inbound I/O writes into the LLC when enabled (the
+        #: hardware default).  libGPM's gpm_persist_begin/end toggles this.
+        self.ddio_enabled = True
+        self.crash_count = 0
+        self._regions: dict[str, Region] = {}
+
+    # -- allocation ------------------------------------------------------
+
+    def alloc(self, name: str, size: int, kind: MemKind) -> Region:
+        """Allocate a named region on the given device."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        region = Region(name, size, kind)
+        self._regions[name] = region
+        return region
+
+    def alloc_pm(self, name: str, size: int) -> Region:
+        return self.alloc(name, size, MemKind.PM)
+
+    def alloc_dram(self, name: str, size: int) -> Region:
+        return self.alloc(name, size, MemKind.DRAM)
+
+    def alloc_hbm(self, name: str, size: int) -> Region:
+        return self.alloc(name, size, MemKind.HBM)
+
+    def free(self, region: Region) -> None:
+        """Release a region (PM contents are gone once freed)."""
+        existing = self._regions.get(region.name)
+        if existing is not region:
+            raise KeyError(f"region {region.name!r} is not allocated on this machine")
+        del self._regions[region.name]
+
+    def region(self, name: str) -> Region:
+        return self._regions[name]
+
+    def has_region(self, name: str) -> bool:
+        return name in self._regions
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        return tuple(self._regions.values())
+
+    # -- DDIO ------------------------------------------------------------
+
+    def set_ddio(self, enabled: bool) -> None:
+        """Flip DDIO for inbound device writes (models ``perfctrlsts_0``)."""
+        self.ddio_enabled = bool(enabled)
+
+    # -- hardware write paths ---------------------------------------------
+
+    def io_write_arrival(self, region: Region, starts, lengths) -> float:
+        """Inbound I/O (GPU) writes reaching host memory.
+
+        Data is already visible (the writer updated ``region.visible``);
+        this routes the persistence side-effect.  With DDIO on, PM-bound
+        writes park in the volatile LLC and the returned host-side media
+        time is zero (the fence completed at the LLC).  With DDIO off they
+        drain straight to the Optane media as a single epoch, and the media
+        time is returned so the caller can charge it to the fence.
+        """
+        if region.kind is MemKind.HBM:
+            raise ValueError("HBM is not host memory; io writes target DRAM or PM")
+        if region.kind is MemKind.DRAM:
+            total = int(np.sum(np.atleast_1d(np.asarray(lengths, dtype=np.int64))))
+            self.stats.dram_bytes_written += total
+            return 0.0
+        if self.ddio_enabled:
+            self.llc.install_writes(region, starts, lengths)
+            return 0.0
+        time = self.optane.write_epoch(region, starts, lengths)
+        total = int(np.sum(np.atleast_1d(np.asarray(lengths, dtype=np.int64))))
+        self.stats.pm_bytes_written_by_gpu += total
+        return time
+
+    def cpu_store_arrival(self, region: Region, offset: int, size: int) -> None:
+        """CPU stores to host memory dirty LLC lines (for PM regions)."""
+        if region.kind is MemKind.PM:
+            self.llc.install_writes(region, [offset], [size])
+        elif region.kind is MemKind.DRAM:
+            self.stats.dram_bytes_written += size
+        else:
+            raise ValueError("CPU stores target host memory, not HBM")
+
+    def cpu_flush(self, region: Region, offset: int, size: int) -> float:
+        """CLFLUSHOPT+drain over a range; returns the media seconds."""
+        self.stats.cpu_drains += 1
+        return self.llc.flush_range(region, offset, size)
+
+    def cpu_nt_store_arrival(self, region: Region, starts, lengths) -> float:
+        """Non-temporal stores bypass the cache straight to the media."""
+        if region.kind is not MemKind.PM:
+            total = int(np.sum(np.atleast_1d(np.asarray(lengths, dtype=np.int64))))
+            self.stats.dram_bytes_written += total
+            return 0.0
+        time = self.optane.write_epoch(region, starts, lengths)
+        total = int(np.sum(np.atleast_1d(np.asarray(lengths, dtype=np.int64))))
+        self.stats.pm_bytes_written_by_cpu += total
+        return time
+
+    def background_persist(self, region: Region, offset: int, size: int) -> None:
+        """Persist a range with zero foreground cost (eADR-domain drain).
+
+        On an eADR platform data is durable once it reaches the LLC; the
+        media drain happens asynchronously (on failure or in the
+        background).  Counts media traffic but charges no time.
+        """
+        if not self.eadr:
+            raise RuntimeError("background_persist is only meaningful with eADR")
+        region.persist_range(offset, size)
+        self.llc.drop_range(region, offset, size)
+        self.stats.pm_bytes_written += size
+        self.stats.pm_bytes_written_internal += size
+
+    # -- failure ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate a power failure / fail-stop crash.
+
+        The LLC applies its (e)ADR semantics first, then every region keeps
+        only its persisted image (PM) or is poisoned (DRAM/HBM).
+        """
+        self.llc.crash(self.eadr)
+        for region in self._regions.values():
+            region.crash()
+        self.optane.reset_stream()
+        self.ddio_enabled = True
+        self.crash_count += 1
+
+    def drop_volatile_regions(self) -> None:
+        """Forget volatile regions after a crash so names can be reused."""
+        for name in [n for n, r in self._regions.items() if r.kind is not MemKind.PM]:
+            del self._regions[name]

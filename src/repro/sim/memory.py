@@ -1,0 +1,153 @@
+"""Memory regions of the simulated machine.
+
+A :class:`Region` is a contiguous, byte-addressable allocation living on one
+of the machine's three memory devices:
+
+* ``HBM``  - the GPU's on-board GDDR6 (volatile, fast, local to the GPU),
+* ``DRAM`` - host DDR4 (volatile, behind the PCIe link from the GPU),
+* ``PM``   - Optane persistent memory (behind the PCIe link, *persistent*).
+
+Crash consistency is modelled functionally with **two images** for PM
+regions:
+
+* ``visible``   - the latest value of every byte, as seen by coherent
+  readers.  All stores update it immediately.
+* ``persisted`` - the bytes that have actually reached the persistence
+  domain (the Optane media / ADR-protected write-pending queue).
+
+A store becomes persistent only when something moves it from ``visible`` to
+``persisted``: a CPU cache-line flush, a non-temporal store, an LLC eviction,
+or - the paper's contribution - a GPU system-scope fence with DDIO disabled.
+On a simulated crash the ``visible`` image is discarded and rebuilt from
+``persisted``, so missing flushes/fences produce *real* data loss that the
+recovery tests can observe.
+
+Volatile regions have only a ``visible`` image, which is poisoned on crash.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+#: Byte used to fill volatile regions after a crash, so stale reads are
+#: detectable in tests rather than silently returning pre-crash data.
+CRASH_POISON = 0xCD
+
+
+class MemKind(enum.Enum):
+    """Which physical device a region lives on."""
+
+    HBM = "hbm"
+    DRAM = "dram"
+    PM = "pm"
+
+
+class Region:
+    """A contiguous allocation on one memory device.
+
+    Data is held in numpy ``uint8`` arrays; use :meth:`view` for typed
+    access.  Regions are created through :class:`~repro.sim.machine.Machine`
+    allocation helpers (or :func:`repro.core.mapping.gpm_map` for PM), not
+    directly.
+    """
+
+    def __init__(self, name: str, size: int, kind: MemKind) -> None:
+        if size <= 0:
+            raise ValueError(f"region size must be positive, got {size}")
+        self.name = name
+        self.size = size
+        self.kind = kind
+        self.visible = np.zeros(size, dtype=np.uint8)
+        self.persisted = np.zeros(size, dtype=np.uint8) if kind is MemKind.PM else None
+        #: Set when a crash wiped this (volatile) region's contents.
+        self.lost = False
+
+    # -- typed access ---------------------------------------------------
+
+    def view(self, dtype, offset: int = 0, count: int | None = None) -> np.ndarray:
+        """A typed numpy view of the *visible* image.
+
+        Mutating the view is equivalent to issuing stores without any
+        persistence guarantee; simulated components that must account for
+        traffic and persistence go through the machine/GPU/CPU interfaces
+        instead.
+        """
+        dtype = np.dtype(dtype)
+        end = self.size if count is None else offset + count * dtype.itemsize
+        self._check_range(offset, end - offset)
+        return self.visible[offset:end].view(dtype)
+
+    def persisted_view(self, dtype, offset: int = 0, count: int | None = None) -> np.ndarray:
+        """A typed view of the *persisted* image (PM regions only)."""
+        if self.persisted is None:
+            raise TypeError(f"region {self.name!r} is volatile and has no persisted image")
+        dtype = np.dtype(dtype)
+        end = self.size if count is None else offset + count * dtype.itemsize
+        self._check_range(offset, end - offset)
+        return self.persisted[offset:end].view(dtype)
+
+    # -- raw byte access ------------------------------------------------
+
+    def read_bytes(self, offset: int, size: int) -> np.ndarray:
+        self._check_range(offset, size)
+        return self.visible[offset : offset + size]
+
+    def write_bytes(self, offset: int, data) -> None:
+        data = np.asarray(data, dtype=np.uint8)
+        self._check_range(offset, data.size)
+        self.visible[offset : offset + data.size] = data
+
+    # -- persistence plumbing (used by caches / fences / flushes) --------
+
+    @property
+    def is_persistent(self) -> bool:
+        return self.kind is MemKind.PM
+
+    @property
+    def is_host(self) -> bool:
+        """True when the region is in host (system) memory - DRAM or PM."""
+        return self.kind is not MemKind.HBM
+
+    def persist_range(self, offset: int, size: int) -> None:
+        """Copy ``visible`` bytes into the persisted image.
+
+        Called by the machine when a store provably reaches the persistence
+        domain; not part of the public API.
+        """
+        if self.persisted is None:
+            raise TypeError(f"cannot persist volatile region {self.name!r}")
+        self._check_range(offset, size)
+        self.persisted[offset : offset + size] = self.visible[offset : offset + size]
+
+    def persist_ranges(self, starts: np.ndarray, lengths: np.ndarray) -> None:
+        """Vectorised :meth:`persist_range` over many segments."""
+        if self.persisted is None:
+            raise TypeError(f"cannot persist volatile region {self.name!r}")
+        for start, length in zip(starts.tolist(), lengths.tolist()):
+            self.persisted[start : start + length] = self.visible[start : start + length]
+
+    def crash(self) -> None:
+        """Apply crash semantics: keep only what was persisted."""
+        if self.persisted is not None:
+            self.visible[:] = self.persisted
+        else:
+            self.visible.fill(CRASH_POISON)
+            self.lost = True
+
+    def unpersisted_bytes(self) -> int:
+        """Number of bytes whose visible and persisted images differ."""
+        if self.persisted is None:
+            raise TypeError(f"volatile region {self.name!r} has no persisted image")
+        return int(np.count_nonzero(self.visible != self.persisted))
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0 or offset + size > self.size:
+            raise IndexError(
+                f"access [{offset}, {offset + size}) outside region "
+                f"{self.name!r} of size {self.size}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Region({self.name!r}, size={self.size}, kind={self.kind.value})"

@@ -1,0 +1,122 @@
+"""Timing model of the PCIe 3.0 x16 link between GPU and host.
+
+Two traffic regimes matter to the paper:
+
+* **Bulk DMA** (cudaMemcpy, checkpoint streaming): bandwidth-bound at
+  ~13 GB/s effective (Section 6.1), plus a fixed DMA-initiation cost per
+  transfer that CAP pays on every kernel boundary.
+
+* **Fine-grained in-kernel persists** (GPM's contribution): each persist is
+  a posted write followed by a system-scope fence that waits for the write
+  to reach the host memory controller - a full PCIe round trip.  Massive
+  GPU parallelism hides this latency, but only up to the link's bounded
+  number of outstanding transactions; this produces the scaling plateau of
+  Fig. 3(b) ("it typically supports a limited number of concurrent
+  operations on the PCIe. Thus, it does not scale beyond a point").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import SystemConfig
+from .stats import MachineStats
+
+
+class PcieModel:
+    """Analytic transfer times over the host<->GPU interconnect."""
+
+    def __init__(self, config: SystemConfig, stats: MachineStats) -> None:
+        self._config = config
+        self._stats = stats
+
+    # ------------------------------------------------------------------
+
+    def dma_time(self, nbytes: int, to_gpu: bool = False, initiate: bool = True) -> float:
+        """Seconds for one bulk DMA of ``nbytes`` (cudaMemcpy-style)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        cfg = self._config
+        if to_gpu:
+            self._stats.pcie_bytes_to_gpu += nbytes
+        else:
+            self._stats.pcie_bytes_to_host += nbytes
+        self._stats.dma_transfers += 1 if initiate else 0
+        time = nbytes / cfg.pcie_bw
+        if initiate:
+            time += cfg.dma_init_s
+        return time
+
+    # ------------------------------------------------------------------
+
+    def transactions_for(self, starts, lengths) -> int:
+        """PCIe write transactions after 128 B coalescing of the segments.
+
+        Each segment is assumed already coalesced by the GPU (one segment =
+        one contiguous warp access); a segment of ``n`` bytes starting at
+        ``s`` spans ``ceil`` of the 128 B-aligned blocks it touches.
+        """
+        starts = np.atleast_1d(np.asarray(starts, dtype=np.int64))
+        lengths = np.atleast_1d(np.asarray(lengths, dtype=np.int64))
+        tx_bytes = self._config.pcie_tx_bytes
+        nonempty = lengths > 0
+        starts, lengths = starts[nonempty], lengths[nonempty]
+        if starts.size == 0:
+            return 0
+        first = starts // tx_bytes
+        last = (starts + lengths - 1) // tx_bytes
+        return int((last - first + 1).sum())
+
+    def fine_grained_write_time(self, n_tx: int, nbytes: int, n_warps: int) -> float:
+        """Seconds for ``n_tx`` persist-grade write transactions.
+
+        ``n_warps`` is the number of warps concurrently issuing; each warp
+        keeps :attr:`SystemConfig.pcie_outstanding_per_warp` transactions in
+        flight, and the endpoint caps the total at
+        :attr:`SystemConfig.pcie_max_outstanding`.  The result is the larger
+        of the latency-limited and bandwidth-limited times.
+        """
+        if n_tx <= 0:
+            return 0.0
+        cfg = self._config
+        self._stats.pcie_transactions += n_tx
+        self._stats.pcie_bytes_to_host += nbytes
+        concurrency = max(1, min(n_warps * cfg.pcie_outstanding_per_warp,
+                                 cfg.pcie_max_outstanding))
+        latency_bound = n_tx * cfg.pcie_rtt_s / concurrency
+        bandwidth_bound = nbytes / cfg.pcie_bw
+        return max(latency_bound, bandwidth_bound)
+
+    def stream_write_time(self, nbytes: int) -> float:
+        """Seconds for a bandwidth-bound stream of posted writes.
+
+        Bulk streaming (checkpoint copies, DMA-like kernels) issues posted
+        writes back-to-back without waiting for per-transaction completion,
+        so only the link bandwidth limits it - unlike persist-grade traffic,
+        which :meth:`fine_grained_write_time` bounds by outstanding
+        transactions.
+        """
+        if nbytes <= 0:
+            return 0.0
+        cfg = self._config
+        self._stats.pcie_bytes_to_host += nbytes
+        self._stats.pcie_transactions += max(1, nbytes // cfg.pcie_tx_bytes)
+        return nbytes / cfg.pcie_bw
+
+    def stream_read_time(self, nbytes: int) -> float:
+        """Seconds for a bandwidth-bound bulk read from host memory."""
+        if nbytes <= 0:
+            return 0.0
+        self._stats.pcie_bytes_to_gpu += nbytes
+        return nbytes / self._config.pcie_bw
+
+    def read_time(self, nbytes: int, n_warps: int = 1) -> float:
+        """Seconds for GPU loads of host memory over the link."""
+        if nbytes <= 0:
+            return 0.0
+        cfg = self._config
+        self._stats.pcie_bytes_to_gpu += nbytes
+        n_tx = max(1, nbytes // cfg.pcie_tx_bytes)
+        concurrency = max(1, min(n_warps * cfg.pcie_outstanding_per_warp,
+                                 cfg.pcie_max_outstanding))
+        return max(n_tx * cfg.pcie_rtt_s / concurrency, nbytes / cfg.pcie_bw)

@@ -1,0 +1,56 @@
+"""Top-level composition: one simulated GPM platform.
+
+:class:`System` wires the machine substrate to the GPU engine and the host
+software stack.  It is the object applications hold; everything else hangs
+off it (``system.gpu``, ``system.cpu``, ``system.fs``, ``system.machine``).
+"""
+
+from __future__ import annotations
+
+from .gpu.device import Gpu
+from .host.cpu import Cpu
+from .host.dma import DmaEngine
+from .host.filesystem import DaxFilesystem
+from .sim.config import DEFAULT_CONFIG, SystemConfig
+from .sim.machine import Machine
+
+
+class System:
+    """A Xeon + Optane + GPU platform ready to run workloads.
+
+    Parameters
+    ----------
+    config:
+        Hardware constants; defaults model the paper's Table 3 testbed.
+    eadr:
+        Model the projected eADR platform of Section 6.1 ("Analyzing GPM's
+        performance and eADR"): the LLC joins the persistence domain, so
+        persistence no longer requires flushing or disabling DDIO.
+    """
+
+    def __init__(self, config: SystemConfig = DEFAULT_CONFIG, eadr: bool = False) -> None:
+        self.machine = Machine(config, eadr=eadr)
+        self.gpu = Gpu(self.machine)
+        self.cpu = Cpu(self.machine)
+        self.fs = DaxFilesystem(self.machine)
+        self.dma = DmaEngine(self.machine)
+
+    @property
+    def config(self) -> SystemConfig:
+        return self.machine.config
+
+    @property
+    def clock(self):
+        return self.machine.clock
+
+    @property
+    def stats(self):
+        return self.machine.stats
+
+    @property
+    def eadr(self) -> bool:
+        return self.machine.eadr
+
+    def crash(self) -> None:
+        """Power-fail the whole platform (volatile state is lost)."""
+        self.machine.crash()

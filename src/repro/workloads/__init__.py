@@ -1,0 +1,84 @@
+"""GPMbench: the nine GPU workloads of Table 1, runnable under every
+persistence system the paper evaluates (GPM, GPM-NDP, GPM-eADR, CAP-fs,
+CAP-mm, CAP-eADR, GPUfs)."""
+
+from .base import (
+    Category,
+    Mode,
+    ModeDriver,
+    PersistentBuffer,
+    RunResult,
+    make_system,
+    measure,
+)
+from .bfs import BfsConfig, GraphBfs, make_road_graph, reference_bfs
+from .binomial import BinomialConfig, BinomialOptions, binomial_price
+from .blackscholes import BlackScholes, black_scholes
+from .cfd import CfdSolver, EulerSolver
+from .checkpointed import CheckpointedWorkload, CheckpointTarget
+from .db import DbConfig, GpDb
+from .dnn import DnnTraining
+from .hotspot import Hotspot, HotspotGrid
+from .kvs import GpKvs, KvsConfig
+from .lenet import LeNet, synthetic_mnist
+from .prefix_sum import PrefixSum, PrefixSumConfig
+from .srad import Srad, SradConfig
+
+
+def gpmbench_suite() -> list:
+    """The full Fig. 9 workload lineup, in paper order.
+
+    Returns fresh workload instances: gpKVS, gpKVS (95:5), gpDB (I),
+    gpDB (U), DNN, CFD, BLK, HS, BFS, SRAD, PS.
+    """
+    return [
+        GpKvs(),
+        GpKvs.mixed_95_5(),
+        GpDb("insert"),
+        GpDb("update"),
+        DnnTraining(),
+        CfdSolver(),
+        BlackScholes(),
+        Hotspot(),
+        GraphBfs(),
+        Srad(),
+        PrefixSum(),
+    ]
+
+
+__all__ = [
+    "BfsConfig",
+    "BinomialConfig",
+    "BinomialOptions",
+    "binomial_price",
+    "BlackScholes",
+    "Category",
+    "CfdSolver",
+    "CheckpointTarget",
+    "CheckpointedWorkload",
+    "DbConfig",
+    "DnnTraining",
+    "EulerSolver",
+    "GpDb",
+    "GpKvs",
+    "GraphBfs",
+    "Hotspot",
+    "HotspotGrid",
+    "KvsConfig",
+    "LeNet",
+    "Mode",
+    "ModeDriver",
+    "PersistentBuffer",
+    "PrefixSum",
+    "PrefixSumConfig",
+    "RunResult",
+    "Srad",
+    "SradConfig",
+    "black_scholes",
+    "gpmbench_suite",
+    "make_road_graph",
+    "make_system",
+    "measure",
+    "reference_bfs",
+    "synthetic_mnist",
+]

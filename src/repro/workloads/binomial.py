@@ -1,0 +1,139 @@
+"""Binomial option pricing: the paper's counter-example (Section 4.3).
+
+*"Consider computation of binomial options... threads in a threadblock
+coordinate to compute a single value which is written by a single thread of
+a threadblock. That leaves little parallelism to exploit in writing and
+persisting data to PM. GPM's fine-grained persistence brings fine-grained
+recoverability. However, GPM needs parallelism for good performance."*
+
+This workload exists to reproduce that negative result: a Cox-Ross-
+Rubinstein binomial-tree pricer where each threadblock cooperatively
+reduces one option's tree and its thread 0 persists the single 4-byte
+price.  With only ``n_options`` concurrent persists (tens, not tens of
+thousands), GPM's latency-hiding story collapses and its advantage over
+CAP shrinks toward the DMA-overhead floor - see
+``repro.experiments.ablations.binomial_counter_example``.
+
+The pricing maths is the real CRR model; tests check its convergence to
+Black-Scholes for European options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.memory import DeviceArray
+from .base import Category, Mode, ModeDriver, RunResult, make_system, measure
+
+_HEADER_BYTES = 128
+
+
+def binomial_price(spot: float, strike: float, t: float, rate: float,
+                   vol: float, steps: int, call: bool = True) -> float:
+    """Cox-Ross-Rubinstein binomial price of a European option."""
+    dt = t / steps
+    u = np.exp(vol * np.sqrt(dt))
+    d = 1.0 / u
+    disc = np.exp(-rate * dt)
+    p = (np.exp(rate * dt) - d) / (u - d)
+    # terminal payoffs
+    j = np.arange(steps + 1)
+    prices = spot * u ** j * d ** (steps - j)
+    values = np.maximum(prices - strike, 0.0) if call else np.maximum(strike - prices, 0.0)
+    # backward induction
+    for _ in range(steps):
+        values = disc * (p * values[1:] + (1.0 - p) * values[:-1])
+    return float(values[0])
+
+
+def pricing_kernel(ctx, params, out, n_options, steps, persist_on):
+    """One threadblock per option; thread 0 persists the single result.
+
+    All threads charge their share of the cooperative tree reduction
+    (~steps^2/block ops each); only thread 0 stores + fences.
+    """
+    blk = ctx.block_id
+    if blk >= n_options:
+        return
+    ctx.charge_ops(steps * steps // ctx.block_dim + steps)
+    if ctx.thread_in_block != 0:
+        return
+    spot = float(params.read(ctx, blk * 4 + 0))
+    strike = float(params.read(ctx, blk * 4 + 1))
+    t = float(params.read(ctx, blk * 4 + 2))
+    vol = float(params.read(ctx, blk * 4 + 3))
+    price = binomial_price(spot, strike, t, 0.02, vol, steps)
+    out.write(ctx, blk, np.float32(price))
+    if persist_on:
+        ctx.persist()
+
+
+@dataclass
+class BinomialConfig:
+    n_options: int = 96
+    steps: int = 64
+    block_dim: int = 64
+    seed: int = 41
+
+
+class BinomialOptions:
+    """The binomial-options workload runner."""
+
+    name = "BINO"
+    category = Category.NATIVE
+    fine_grained = True
+    paper_data_bytes = 1_000_000  # tiny persisted output: one float/option
+
+    def __init__(self, config: BinomialConfig | None = None) -> None:
+        self.config = config or BinomialConfig()
+
+    def run(self, mode: Mode, system=None) -> RunResult:
+        cfg = self.config
+        system = system or make_system(mode)
+        driver = ModeDriver(system, mode)
+        rng = np.random.default_rng(cfg.seed)
+        n = cfg.n_options
+        hbm = system.machine.alloc_hbm("bino.params", n * 4 * 4)
+        params = DeviceArray(hbm, np.float32, 0, n * 4)
+        p = params.np.reshape(n, 4)
+        p[:, 0] = rng.uniform(10, 50, n)    # spot
+        p[:, 1] = rng.uniform(10, 50, n)    # strike
+        p[:, 2] = rng.uniform(0.5, 3.0, n)  # maturity
+        p[:, 3] = rng.uniform(0.1, 0.5, n)  # volatility
+        buf = driver.buffer("/pm/bino.out", _HEADER_BYTES + n * 4,
+                            fine_grained=True, paper_bytes=self.paper_data_bytes)
+        out = buf.array(np.float32, _HEADER_BYTES, n)
+        self._state = (system, driver, buf, params)
+
+        def price_all():
+            driver.persist_phase_begin()
+            try:
+                system.gpu.launch(pricing_kernel, n, cfg.block_dim,
+                                  (params, out, n, cfg.steps,
+                                   driver.mode.data_on_pm))
+            finally:
+                driver.persist_phase_end()
+            buf.persist_range(_HEADER_BYTES, n * 4)
+            return n
+
+        priced, window = measure(system, price_all)
+        return RunResult(
+            workload=self.name, mode=mode, elapsed=window.elapsed, window=window,
+            extras={"options": priced},
+        )
+
+    def verify(self) -> bool:
+        """Prices must match the host-side CRR model."""
+        system, driver, buf, params = self._state
+        cfg = self.config
+        out = buf.visible_view(np.float32, _HEADER_BYTES, cfg.n_options)
+        p = params.np.reshape(cfg.n_options, 4)
+        for i in range(0, cfg.n_options, 7):  # spot-check a subset
+            ref = binomial_price(float(p[i, 0]), float(p[i, 1]),
+                                 float(p[i, 2]), 0.02, float(p[i, 3]),
+                                 cfg.steps)
+            if abs(float(out[i]) - ref) > 1e-4 * max(ref, 1.0):
+                return False
+        return True

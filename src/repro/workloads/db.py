@@ -1,0 +1,371 @@
+"""gpDB: transactional batched INSERT/UPDATE on a GPU-accelerated database.
+
+Section 4.1: the Virginian GPU database [6] extended with libGPM write-ahead
+logging so the GPU can execute *data-modifying* queries against a
+PM-resident relational table - something today's GPU databases avoid
+because they cannot persist results from the kernel.
+
+The table is row-major, 64-byte rows of eight u64 columns, with a persisted
+row count as metadata.
+
+* **INSERT** (gpDB (I)): each thread appends one full row at the end of the
+  table and persists it; only the table size is logged (one conventional-log
+  entry by thread 0), since new rows past the old count are invisible until
+  the count is durably bumped.  CAP can restrict its transfer to the
+  appended range (contiguous, host-known), so its write amplification is
+  barely above 1 (Table 4: 1.27x).
+* **UPDATE** (gpDB (U)): each thread updates two columns of a *scattered*
+  row whose index is computed in-kernel ("known only upon computation");
+  the old row is HCL-logged first.  CAP must persist the whole table -
+  Table 4's ~20x write amplification.
+
+Recovery: clear transaction flag -> truncate logs; set flag -> a recovery
+kernel undoes updates row-by-row from the HCL log and the insert metadata
+log restores the old row count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import LogEmpty
+from ..core.logging import (
+    gpmlog_clear,
+    gpmlog_create_conv,
+    gpmlog_create_hcl,
+    gpmlog_insert,
+    gpmlog_read,
+    gpmlog_remove,
+)
+from ..core.transactions import TransactionFlag
+from ..gpu.memory import DeviceArray
+from .base import Category, Mode, ModeDriver, RunResult, make_system, measure
+from .kvs import hash64
+
+ROW_COLUMNS = 8
+ROW_BYTES = ROW_COLUMNS * 8
+#: Table metadata: row count in the first 128-byte line.
+_META_BYTES = 128
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+
+def insert_kernel(ctx, table, base_count, batch_rows, n_ops, meta_log, persist_on):
+    """Append one row per thread (Fig. 2-style streaming, coalesced)."""
+    i = ctx.global_id
+    if i >= n_ops:
+        return
+    if i == 0 and meta_log is not None:
+        # INSERTs only log the table size (Section 6.1, Fig. 11a discussion).
+        gpmlog_insert(ctx, meta_log, np.uint64(base_count), partition=0)
+    row = batch_rows.read_vec(ctx, i * ROW_COLUMNS, ROW_COLUMNS)
+    table.write_vec(ctx, (base_count + i) * ROW_COLUMNS, row)
+    if persist_on:
+        ctx.persist()
+
+
+def update_kernel(ctx, table, row_count, batch_seed, n_ops, log, touched, persist_on):
+    """Update two columns of a scattered, kernel-computed row."""
+    i = ctx.global_id
+    if i >= n_ops:
+        return
+    ctx.charge_ops(8)
+    # Scattered but collision-free row selection (Fibonacci stride; the
+    # constant is odd, so it is invertible modulo any power-of-two count):
+    # batched updates to the *same* row would make undo order-dependent,
+    # which real batching layers deduplicate away.
+    row = (hash64(batch_seed) + i * 2654435761) % row_count
+    old = table.read_vec(ctx, row * ROW_COLUMNS, ROW_COLUMNS)
+    if log is not None:
+        entry = np.concatenate([[np.uint64(row)], np.asarray(old, dtype=np.uint64)])
+        gpmlog_insert(ctx, log, entry)
+    new_val = np.uint64(hash64(batch_seed + i) or 1)
+    table.write(ctx, row * ROW_COLUMNS + 2, new_val)
+    table.write(ctx, row * ROW_COLUMNS + 5, new_val ^ np.uint64(0xFF))
+    if persist_on:
+        ctx.persist()
+    touched.append(row)
+
+
+def select_kernel(ctx, table, lo, hi, flags, n_rows):
+    """Predicate scan: flag rows whose column 1 lies in [lo, hi).
+
+    The paper (Section 4.1): GPU databases "increase throughput of
+    business analytics queries by executing primarily SELECT queries" -
+    the read path GPM leaves untouched.  Each thread scans one PM-resident
+    row; no logging, no persistence.
+    """
+    i = ctx.global_id
+    if i >= n_rows:
+        return
+    ctx.charge_ops(4)
+    value = int(table.read(ctx, i * ROW_COLUMNS + 1))
+    flags.write(ctx, i, 1 if lo <= value < hi else 0)
+
+
+def update_recovery_kernel(ctx, table, log, n_ops):
+    """Undo one UPDATE per thread from its HCL entry."""
+    i = ctx.global_id
+    if i >= n_ops:
+        return
+    try:
+        raw = gpmlog_read(ctx, log, (ROW_COLUMNS + 1) * 8)
+    except LogEmpty:
+        return
+    vals = raw.view(np.uint64)
+    row = int(vals[0])
+    table.write_vec(ctx, row * ROW_COLUMNS, vals[1:])
+    ctx.persist()
+    gpmlog_remove(ctx, log, (ROW_COLUMNS + 1) * 8)
+
+
+# ---------------------------------------------------------------------------
+# the workload
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DbConfig:
+    """Scaled gpDB parameters (paper: 50M-row inserts, 2.5M updates, 3 GB)."""
+
+    capacity_rows: int = 32768
+    initial_rows: int = 16384
+    insert_batch: int = 2048
+    insert_batches: int = 2
+    update_batch: int = 768
+    update_batches: int = 2
+    block_dim: int = 128
+    seed: int = 11
+    use_hcl: bool = True
+    log_partitions: int = 64
+
+
+class GpDb:
+    """The gpDB workload runner; ``op`` selects INSERT or UPDATE."""
+
+    category = Category.TRANSACTIONAL
+    fine_grained = True
+    paper_data_bytes = 3_000_000_000  # Table 1: 3 GB
+
+    def __init__(self, op: str = "insert", config: DbConfig | None = None) -> None:
+        if op not in ("insert", "update"):
+            raise ValueError(f"op must be 'insert' or 'update', got {op!r}")
+        self.op = op
+        self.config = config or DbConfig()
+        self.name = "gpDB (I)" if op == "insert" else "gpDB (U)"
+
+    # -- layout -----------------------------------------------------------------
+
+    def _table_bytes(self) -> int:
+        return _META_BYTES + self.config.capacity_rows * ROW_BYTES
+
+    def _grid(self, n_ops: int) -> int:
+        return (n_ops + self.config.block_dim - 1) // self.config.block_dim
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, mode: Mode, system=None, crash_injector=None) -> RunResult:
+        cfg = self.config
+        system = system or make_system(mode)
+        driver = ModeDriver(system, mode)
+        buf = driver.buffer("/pm/gpdb.table", self._table_bytes(),
+                            fine_grained=True, paper_bytes=self.paper_data_bytes)
+        table = buf.array(np.uint64, _META_BYTES, cfg.capacity_rows * ROW_COLUMNS)
+        count_view = buf.visible_view(np.uint64, 0, 1)
+
+        # Populate the initial table (setup, not measured).
+        rng = np.random.default_rng(cfg.seed)
+        init = rng.integers(1, 1 << 63, size=cfg.initial_rows * ROW_COLUMNS, dtype=np.uint64)
+        table.np[: init.size] = init
+        count_view[0] = cfg.initial_rows
+        if buf.gpm is not None:
+            buf.gpm.region.persist_range(0, self._table_bytes())
+
+        on_pm = driver.mode.data_on_pm
+        n_ops = cfg.insert_batch if self.op == "insert" else cfg.update_batch
+        flag = TransactionFlag.create(system, "/pm/gpdb.flag") if on_pm else None
+        meta_log = (gpmlog_create_conv(system, "/pm/gpdb.metalog", 1 << 16, 4)
+                    if on_pm else None)
+        hcl_log = None
+        if on_pm and self.op == "update":
+            if cfg.use_hcl:
+                capacity = self._grid(n_ops) * cfg.block_dim * 96 * 4 + (1 << 16)
+                hcl_log = gpmlog_create_hcl(system, "/pm/gpdb.log", capacity,
+                                            self._grid(n_ops), cfg.block_dim)
+            else:
+                hcl_log = gpmlog_create_conv(system, "/pm/gpdb.log", 8 << 20,
+                                             cfg.log_partitions)
+        self._state = (system, driver, buf, table, flag, meta_log, hcl_log)
+
+        def op_phase():
+            if self.op == "insert":
+                return self._run_inserts(driver, buf, table, count_view, flag,
+                                         meta_log, crash_injector)
+            return self._run_updates(driver, buf, table, count_view, flag,
+                                     hcl_log, crash_injector)
+
+        total_ops, window = measure(system, op_phase)
+        return RunResult(
+            workload=self.name, mode=mode, elapsed=window.elapsed, window=window,
+            extras={"ops": total_ops,
+                    "throughput_ops_per_s": total_ops / window.elapsed if window.elapsed else 0.0},
+        )
+
+    def _run_inserts(self, driver, buf, table, count_view, flag, meta_log, injector):
+        cfg = self.config
+        system = driver.system
+        rng = np.random.default_rng(cfg.seed + 1)
+        total = 0
+        for b in range(cfg.insert_batches):
+            base_count = int(count_view[0])
+            n_ops = cfg.insert_batch
+            if base_count + n_ops > cfg.capacity_rows:
+                break
+            hbm = system.machine.alloc_hbm(f"gpdb.batch{b}", n_ops * ROW_BYTES)
+            rows = DeviceArray(hbm, np.uint64, 0, n_ops * ROW_COLUMNS)
+            rows.np[:] = rng.integers(1, 1 << 63, size=n_ops * ROW_COLUMNS, dtype=np.uint64)
+            if flag is not None:
+                flag.begin()
+            driver.persist_phase_begin()
+            try:
+                system.gpu.launch(
+                    insert_kernel, self._grid(n_ops), cfg.block_dim,
+                    (table, base_count, rows, n_ops, meta_log,
+                     driver.mode.data_on_pm),
+                    crash_injector=injector,
+                )
+            finally:
+                driver.persist_phase_end()
+            # Appended rows are contiguous: CAP may restrict its transfer.
+            buf.persist_range(_META_BYTES + base_count * ROW_BYTES, n_ops * ROW_BYTES)
+            # Durably publish the new row count (commit point).
+            count_view[0] = base_count + n_ops
+            self._persist_count(driver, buf)
+            if flag is not None:
+                flag.commit()
+                gpmlog_clear(meta_log)
+            system.machine.free(hbm)
+            total += n_ops
+        return total
+
+    def _run_updates(self, driver, buf, table, count_view, flag, log, injector):
+        cfg = self.config
+        system = driver.system
+        total = 0
+        for b in range(cfg.update_batches):
+            n_ops = cfg.update_batch
+            row_count = int(count_view[0])
+            touched: list[int] = []
+            if flag is not None:
+                flag.begin()
+            driver.persist_phase_begin()
+            try:
+                system.gpu.launch(
+                    update_kernel, self._grid(n_ops), cfg.block_dim,
+                    (table, row_count, cfg.seed + 100 + b, n_ops, log, touched,
+                     driver.mode.data_on_pm),
+                    crash_injector=injector,
+                )
+            finally:
+                driver.persist_phase_end()
+            idx = np.unique(np.asarray(touched, dtype=np.int64)) if touched else np.array([], dtype=np.int64)
+            # The two updated columns of each touched row.
+            starts = np.concatenate([
+                _META_BYTES + idx * ROW_BYTES + 2 * 8,
+                _META_BYTES + idx * ROW_BYTES + 5 * 8,
+            ])
+            buf.persist_segments(starts, np.full(starts.size, 8, dtype=np.int64))
+            if flag is not None:
+                flag.commit()
+                gpmlog_clear(log)
+            total += n_ops
+        return total
+
+    def _persist_count(self, driver, buf) -> None:
+        system = driver.system
+        if driver.mode.in_kernel_persist:
+            # The durable count bump is the commit point; it needs its own
+            # persistence window (the batch's window closed with the kernel).
+            driver.persist_phase_begin()
+            try:
+                system.gpu.store_and_persist_value(
+                    buf.kernel_region, 0,
+                    int(buf.visible_view(np.uint64, 0, 1)[0]), np.uint64,
+                )
+            finally:
+                driver.persist_phase_end()
+        elif driver.mode is Mode.GPM_NDP:
+            system.cpu.persist_range(buf.kernel_region, 0, 8)
+        else:
+            buf.persist_range(0, _META_BYTES)
+
+    def select(self, lo: int, hi: int) -> tuple[np.ndarray, float]:
+        """SELECT rows whose column 1 lies in [lo, hi) (call after run()).
+
+        Returns (matching row indices, elapsed simulated seconds).  Pure
+        read path: identical under every persistence mode.
+        """
+        system, driver, buf, table, *_ = self._state
+        n_rows = int(buf.visible_view(np.uint64, 0, 1)[0])
+        hbm = system.machine.alloc_hbm(
+            f"gpdb.sel{system.stats.kernels_launched}", max(n_rows, 1)
+        )
+        flags = DeviceArray(hbm, np.uint8, 0, n_rows)
+        start = system.clock.now
+        system.gpu.launch(select_kernel, self._grid(n_rows),
+                          self.config.block_dim,
+                          (table, lo, hi, flags, n_rows))
+        matches = np.flatnonzero(flags.np[:n_rows])
+        elapsed = system.clock.now - start
+        system.machine.free(hbm)
+        return matches, elapsed
+
+    # -- recovery --------------------------------------------------------------------
+
+    def recover(self, system, mode: Mode) -> float:
+        """Undo an interrupted batch after a crash; returns restoration time."""
+        from ..core.logging import gpmlog_open
+        from ..core.mapping import gpm_map
+
+        cfg = self.config
+        start = system.clock.now
+        flag = TransactionFlag.open(system, "/pm/gpdb.flag")
+        buf = gpm_map(system, "/pm/gpdb.table")
+        table = buf.array(np.uint64, _META_BYTES, cfg.capacity_rows * ROW_COLUMNS)
+        driver = ModeDriver(system, mode)
+        if flag.active:
+            if self.op == "update":
+                log = gpmlog_open(system, "/pm/gpdb.log")
+                driver.persist_phase_begin()
+                try:
+                    system.gpu.launch(
+                        update_recovery_kernel,
+                        self._grid(cfg.update_batch), cfg.block_dim,
+                        (table, log, cfg.update_batch),
+                    )
+                finally:
+                    driver.persist_phase_end()
+                gpmlog_clear(log)
+            else:
+                # INSERT recovery: restore the durably logged row count.
+                meta_log = gpmlog_open(system, "/pm/gpdb.metalog")
+                try:
+                    old = meta_log.host_read_entry(0, 8)
+                    count = buf.view(np.uint64, 0, 1)
+                    count[0] = old.view(np.uint64)[0]
+                    system.gpu.store_and_persist_value(buf.region, 0,
+                                                       int(count[0]), np.uint64)
+                except LogEmpty:
+                    pass
+                gpmlog_clear(meta_log)
+            flag.commit()
+        else:
+            # Crash outside a transaction: logs are stale, truncate them.
+            if system.fs.exists("/pm/gpdb.log"):
+                gpmlog_clear(gpmlog_open(system, "/pm/gpdb.log"))
+        return system.clock.now - start

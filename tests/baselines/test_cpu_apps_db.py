@@ -1,0 +1,82 @@
+"""CPU application baselines (Fig. 1b) and the OpenMP gpDB port."""
+
+import numpy as np
+import pytest
+
+from repro import System
+from repro.baselines import CpuBfs, CpuDb, CpuPrefixSum, CpuSrad
+from repro.workloads import make_road_graph, reference_bfs
+from repro.workloads.bfs import INF
+
+
+class TestCpuBfs:
+    def test_costs_correct(self):
+        system = System()
+        b = CpuBfs(system, rows=12, cols=12)
+        b.run()
+        ref = reference_bfs(b.row_ptr, b.col_idx, 0)
+        assert np.array_equal(b.cost_view, ref)
+
+    def test_costs_durable(self):
+        system = System()
+        b = CpuBfs(system, rows=12, cols=12)
+        b.run()
+        ref = b.cost_view.copy()
+        system.crash()
+        assert np.array_equal(b.cost_view, ref)
+
+    def test_time_scales_with_graph(self):
+        t_small = CpuBfs(System(), rows=8, cols=16).run()
+        t_big = CpuBfs(System(), rows=8, cols=64).run()
+        assert t_big > 2 * t_small
+
+
+class TestCpuSrad:
+    def test_smooths_and_advances_clock(self):
+        system = System()
+        s = CpuSrad(system, n=48, iterations=3)
+        t = s.run()
+        assert t > 0
+        assert s.result.var() < s.img.var()
+
+
+class TestCpuPrefixSum:
+    def test_result_correct_and_durable(self):
+        system = System()
+        p = CpuPrefixSum(system, n=512)
+        p.run()
+        assert np.array_equal(p.result, np.cumsum(p.inputs[0]))
+        system.crash()
+        stored = p.state.view(np.int64, 128, 512)
+        assert np.array_equal(stored, p.result)
+
+
+class TestCpuDb:
+    def test_insert_grows_table_durably(self):
+        system = System()
+        db = CpuDb(system, capacity_rows=2048, initial_rows=512)
+        t = db.insert_batch(256, seed=1)
+        assert t > 0
+        assert db.row_count == 768
+        system.crash()
+        from repro.workloads.db import ROW_COLUMNS
+
+        rows = db.table.view(np.uint64, 128, 2048 * ROW_COLUMNS)
+        assert rows[512 * ROW_COLUMNS : 768 * ROW_COLUMNS].all()
+
+    def test_update_changes_rows(self):
+        system = System()
+        db = CpuDb(system, capacity_rows=2048, initial_rows=512)
+        from repro.workloads.db import ROW_COLUMNS
+
+        before = db.table.view(np.uint64, 128, 512 * ROW_COLUMNS).copy()
+        db.update_batch(64, seed=2)
+        after = db.table.view(np.uint64, 128, 512 * ROW_COLUMNS)
+        assert (before != after).any()
+
+    def test_update_slower_per_row_than_insert(self):
+        system = System()
+        db = CpuDb(system, capacity_rows=4096, initial_rows=1024)
+        t_ins = db.insert_batch(512, seed=1) / 512
+        t_upd = db.update_batch(512, seed=1) / 512
+        assert t_upd > t_ins

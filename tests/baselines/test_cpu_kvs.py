@@ -1,0 +1,60 @@
+"""CPU persistent KVS baselines."""
+
+import numpy as np
+import pytest
+
+from repro import System
+from repro.baselines import MatrixKvStore, PmemKvStore, RocksDbStore
+
+
+class TestFunctional:
+    def test_set_then_get(self, system):
+        store = PmemKvStore(system, n_sets=128)
+        store.set_batch(np.array([11], dtype=np.uint64),
+                        np.array([77], dtype=np.uint64))
+        assert store.get(11) == 77
+
+    def test_get_missing_returns_none(self, system):
+        store = PmemKvStore(system, n_sets=128)
+        assert store.get(999) is None
+
+    def test_overwrite(self, system):
+        store = PmemKvStore(system, n_sets=128)
+        store.set_batch(np.array([5], dtype=np.uint64), np.array([1], dtype=np.uint64))
+        store.set_batch(np.array([5], dtype=np.uint64), np.array([2], dtype=np.uint64))
+        assert store.get(5) == 2
+
+    def test_sets_survive_crash(self, system):
+        store = PmemKvStore(system, n_sets=128)
+        store.set_batch(np.array([3], dtype=np.uint64), np.array([9], dtype=np.uint64))
+        system.crash()
+        assert store.get(3) == 9
+
+    def test_batch_advances_clock(self, system):
+        store = RocksDbStore(system, n_sets=128)
+        keys = np.arange(1, 65, dtype=np.uint64)
+        t = store.set_batch(keys, keys)
+        assert t > 0
+        assert system.clock.now == pytest.approx(t)
+
+
+class TestRelativePerformance:
+    def _thr(self, cls):
+        return cls(System()).throughput(batch_size=2048, batches=2)
+
+    def test_paper_ordering(self):
+        """Fig. 1a ordering: pmemKV > MatrixKV > RocksDB."""
+        pmemkv = self._thr(PmemKvStore)
+        matrixkv = self._thr(MatrixKvStore)
+        rocksdb = self._thr(RocksDbStore)
+        assert pmemkv > matrixkv > rocksdb
+
+    def test_rocksdb_roughly_half_of_pmemkv(self):
+        ratio = self._thr(PmemKvStore) / self._thr(RocksDbStore)
+        assert 1.5 < ratio < 4.0
+
+    def test_throughputs_in_real_world_range(self):
+        """Real PM KVS do 0.3-5 Mops/s on small batched SETs."""
+        for cls in (PmemKvStore, MatrixKvStore, RocksDbStore):
+            thr = self._thr(cls)
+            assert 0.3e6 < thr < 5e6

@@ -1,0 +1,21 @@
+"""Shared fixtures for the GPM reproduction test suite."""
+
+import pytest
+
+from repro import System
+from repro.sim import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine()
+
+
+@pytest.fixture
+def system() -> System:
+    return System()
+
+
+@pytest.fixture
+def eadr_system() -> System:
+    return System(eadr=True)

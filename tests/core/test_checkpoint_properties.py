@@ -1,0 +1,61 @@
+"""Property-based checkpoint invariants: round trips and crash safety."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import System
+from repro.core import gpmcp_create, gpmcp_open, gpmcp_register
+from repro.gpu import DeviceArray
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(4, 2048), min_size=1, max_size=4),
+        group_count=st.integers(1, 3),
+    )
+    def test_multi_element_roundtrip(self, sizes, group_count):
+        """Any registration layout restores element-exact."""
+        system = System()
+        sizes = [s - s % 4 for s in sizes if s >= 4] or [64]
+        cp = gpmcp_create(system, "/pm/cp", sum(sizes) + 128 * len(sizes),
+                          elements=len(sizes), groups=group_count)
+        arrays = []
+        rng = np.random.default_rng(0)
+        for i, size in enumerate(sizes):
+            hbm = system.machine.alloc_hbm(f"e{i}", size)
+            arr = DeviceArray(hbm, np.uint32, 0, size // 4)
+            arr.np[:] = rng.integers(0, 2**32, size=size // 4, dtype=np.uint32)
+            gpmcp_register(cp, arr, group=0)
+            arrays.append((arr, arr.np.copy()))
+        cp.checkpoint(0)
+        for arr, _ in arrays:
+            arr.np[:] = 0
+        cp.restore(0)
+        for arr, original in arrays:
+            assert np.array_equal(arr.np, original)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n_checkpoints=st.integers(1, 6))
+    def test_restore_always_returns_last_checkpoint(self, n_checkpoints):
+        """After any number of alternating-buffer checkpoints + a crash."""
+        system = System()
+        hbm = system.machine.alloc_hbm("w", 1024)
+        arr = DeviceArray(hbm, np.uint32, 0, 256)
+        cp = gpmcp_create(system, "/pm/cp", 1024, 1, 1)
+        gpmcp_register(cp, arr)
+        last = None
+        for version in range(1, n_checkpoints + 1):
+            arr.np[:] = version
+            cp.checkpoint(0)
+            last = version
+        system.crash()
+        system.machine.drop_volatile_regions()
+        hbm2 = system.machine.alloc_hbm("w2", 1024)
+        arr2 = DeviceArray(hbm2, np.uint32, 0, 256)
+        cp2 = gpmcp_open(system, "/pm/cp")
+        gpmcp_register(cp2, arr2)
+        cp2.restore(0)
+        assert (arr2.np == last).all()

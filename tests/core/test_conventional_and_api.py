@@ -1,0 +1,152 @@
+"""Conventional logging and the gpmlog_* front-end API."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConventionalLog,
+    GpmError,
+    HclLog,
+    LogEmpty,
+    LogFull,
+    gpmlog_clear,
+    gpmlog_close,
+    gpmlog_create_conv,
+    gpmlog_create_hcl,
+    gpmlog_insert,
+    gpmlog_open,
+    gpmlog_read,
+    gpmlog_remove,
+    persist_window,
+)
+
+
+class TestConventionalLog:
+    def test_append_and_host_read(self, system):
+        log = gpmlog_create_conv(system, "/pm/c", 1 << 20, 8)
+
+        def k(ctx, log):
+            log.insert(ctx, np.array([ctx.global_id], dtype=np.uint32), partition=0)
+
+        with persist_window(system):
+            system.gpu.launch(k, 1, 16, (log,))
+        assert log.host_count(0, persisted=False) == 64
+        assert int(log.host_read_entry(0, 4, index=0, persisted=False).view(np.uint32)[0]) == 0
+
+    def test_default_partition_by_block(self, system):
+        log = gpmlog_create_conv(system, "/pm/c", 1 << 20, 8)
+
+        def k(ctx, log):
+            log.insert(ctx, np.uint32(1))
+
+        with persist_window(system):
+            system.gpu.launch(k, 3, 32, (log,))
+        assert all(log.host_count(p, persisted=False) == 128 for p in range(3))
+        assert log.host_count(3, persisted=False) == 0
+
+    def test_serialisation_charged(self, system):
+        log = gpmlog_create_conv(system, "/pm/c", 1 << 20, 8)
+
+        def k(ctx, log):
+            log.insert(ctx, np.uint32(1), partition=0)
+
+        res = system.gpu.launch(k, 1, 128, (log,))
+        assert res.accounting.serial_time > 100 * system.config.pcie_rtt_s
+
+    def test_more_partitions_less_serialisation(self, system):
+        def k(ctx, log):
+            log.insert(ctx, np.uint32(1))
+
+        log1 = gpmlog_create_conv(system, "/pm/c1", 1 << 20, 1)
+        few = system.gpu.launch(k, 4, 64, (log1,)).accounting.serial_time
+        log4 = gpmlog_create_conv(system, "/pm/c4", 1 << 20, 4)
+        many = system.gpu.launch(k, 4, 64, (log4,)).accounting.serial_time
+        assert few > 3 * many
+
+    def test_partition_bounds(self, system):
+        log = gpmlog_create_conv(system, "/pm/c", 1 << 20, 4)
+
+        def k(ctx, log):
+            with pytest.raises(GpmError):
+                log.insert(ctx, np.uint32(1), partition=4)
+
+        system.gpu.launch(k, 1, 1, (log,))
+
+    def test_log_full(self, system):
+        log = gpmlog_create_conv(system, "/pm/c", 16 * 1024, 4)
+
+        def k(ctx, log):
+            with pytest.raises(LogFull):
+                for _ in range(10 ** 6):
+                    log.insert(ctx, np.uint32(1), partition=0)
+
+        system.gpu.launch(k, 1, 1, (log,))
+
+    def test_remove_and_read(self, system):
+        log = gpmlog_create_conv(system, "/pm/c", 1 << 20, 2)
+
+        def k(ctx, log):
+            log.insert(ctx, np.uint32(10), partition=1)
+            log.insert(ctx, np.uint32(20), partition=1)
+            log.remove(ctx, 4, partition=1)
+            assert int(log.read(ctx, 4, partition=1).view(np.uint32)[0]) == 10
+            with pytest.raises(LogEmpty):
+                log.remove(ctx, 16, partition=1)
+
+        system.gpu.launch(k, 1, 1, (log,))
+
+    def test_clear_one_partition(self, system):
+        log = gpmlog_create_conv(system, "/pm/c", 1 << 20, 2)
+
+        def k(ctx, log):
+            log.insert(ctx, np.uint32(1), partition=0)
+            log.insert(ctx, np.uint32(1), partition=1)
+
+        system.gpu.launch(k, 1, 1, (log,))
+        log.clear(0)
+        assert log.host_count(0, persisted=False) == 0
+        assert log.host_count(1, persisted=False) == 4
+
+
+class TestFrontEndApi:
+    def test_dispatch_hcl(self, system):
+        log = gpmlog_create_hcl(system, "/pm/h", 1 << 20, 1, 32)
+
+        def k(ctx, log):
+            gpmlog_insert(ctx, log, np.uint32(5))
+            assert int(gpmlog_read(ctx, log, 4).view(np.uint32)[0]) == 5
+            gpmlog_remove(ctx, log, 4)
+
+        with persist_window(system):
+            system.gpu.launch(k, 1, 32, (log,))
+        gpmlog_clear(log)
+
+    def test_open_dispatches_on_magic(self, system):
+        gpmlog_create_hcl(system, "/pm/h", 1 << 20, 1, 32)
+        gpmlog_create_conv(system, "/pm/c", 1 << 20, 4)
+        assert isinstance(gpmlog_open(system, "/pm/h"), HclLog)
+        assert isinstance(gpmlog_open(system, "/pm/c"), ConventionalLog)
+
+    def test_open_garbage_rejected(self, system):
+        system.fs.create("/pm/junk", 4096)
+        with pytest.raises(GpmError):
+            gpmlog_open(system, "/pm/junk")
+
+    def test_open_survives_crash(self, system):
+        log = gpmlog_create_hcl(system, "/pm/h", 1 << 20, 1, 32)
+
+        def k(ctx, log):
+            gpmlog_insert(ctx, log, np.uint32(ctx.global_id))
+
+        with persist_window(system):
+            system.gpu.launch(k, 1, 32, (log,))
+        system.crash()
+        log2 = gpmlog_open(system, "/pm/h")
+        assert isinstance(log2, HclLog)
+        assert log2.host_tail(7) == 1
+        assert int(log2.host_read_entry(7, 4).view(np.uint32)[0]) == 7
+
+    def test_close(self, system):
+        log = gpmlog_create_hcl(system, "/pm/h", 1 << 20, 1, 32)
+        gpmlog_close(system, log)
+        assert not log.gpm.mapped

@@ -1,0 +1,77 @@
+"""Property-based tests of HCL invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import System
+from repro.core import gpmlog_create_hcl, persist_window
+from repro.core.hcl import HclLog
+
+
+class TestOffsetUniqueness:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        blocks=st.integers(1, 4),
+        tpb=st.sampled_from([32, 64, 96, 128]),
+    )
+    def test_thread_chunk_offsets_never_collide(self, blocks, tpb):
+        """Every (warp, lane, chunk) triple owns a unique 4 B slot."""
+        system = System()
+        log = gpmlog_create_hcl(system, "/pm/l", 1 << 20, blocks, tpb)
+        seen = set()
+        warps = blocks * log.warps_per_block
+        for warp in range(warps):
+            for lane in range(32):
+                for chunk in range(min(log.chunks_per_thread, 3)):
+                    off = log.chunk_offset(warp, lane, chunk)
+                    assert off % 4 == 0
+                    assert off >= log.data_offset
+                    assert off + 4 <= log.gpm.size
+                    assert off not in seen
+                    seen.add(off)
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_random_entries_roundtrip_through_pm(self, data):
+        """Random per-thread entries are recoverable from the PM image."""
+        system = System()
+        tpb = 64
+        log = gpmlog_create_hcl(system, "/pm/l", 1 << 20, 1, tpb)
+        entry_words = data.draw(st.integers(1, 6))
+        values = data.draw(
+            st.lists(
+                st.lists(st.integers(0, 2**32 - 1), min_size=entry_words,
+                         max_size=entry_words),
+                min_size=tpb, max_size=tpb,
+            )
+        )
+
+        def k(ctx, log):
+            log.insert(ctx, np.array(values[ctx.global_id], dtype=np.uint32))
+
+        with persist_window(system):
+            system.gpu.launch(k, 1, tpb, (log,))
+        system.crash()
+        recovered = HclLog(log.gpm)
+        for slot in range(tpb):
+            got = recovered.host_read_entry(slot, entry_words * 4).view(np.uint32)
+            assert list(got) == values[slot]
+
+
+class TestTailMonotonicity:
+    @settings(max_examples=10, deadline=None)
+    @given(counts=st.lists(st.integers(0, 5), min_size=32, max_size=32))
+    def test_tail_equals_inserted_chunks(self, counts):
+        system = System()
+        log = gpmlog_create_hcl(system, "/pm/l", 1 << 20, 1, 32)
+
+        def k(ctx, log):
+            for j in range(counts[ctx.global_id]):
+                log.insert(ctx, np.uint32(j))
+
+        with persist_window(system):
+            system.gpu.launch(k, 1, 32, (log,))
+        for slot in range(32):
+            assert log.host_tail(slot) == counts[slot]

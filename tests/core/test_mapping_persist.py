@@ -1,0 +1,98 @@
+"""gpm_map/gpm_unmap and the persistency primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MappingError,
+    gpm_map,
+    gpm_persist_begin,
+    gpm_persist_end,
+    gpm_unmap,
+    persist_window,
+)
+
+
+class TestMapping:
+    def test_create_and_use(self, system):
+        r = gpm_map(system, "/pm/a", 4096, create=True)
+        assert r.size == 4096
+        arr = r.array(np.uint32)
+        arr.np[0] = 5
+        assert r.view(np.uint32, 0, 1)[0] == 5
+
+    def test_create_requires_size(self, system):
+        with pytest.raises(MappingError):
+            gpm_map(system, "/pm/a", create=True)
+
+    def test_create_existing_rejected(self, system):
+        gpm_map(system, "/pm/a", 64, create=True)
+        with pytest.raises(MappingError):
+            gpm_map(system, "/pm/a", 64, create=True)
+
+    def test_open_missing_rejected(self, system):
+        with pytest.raises(MappingError):
+            gpm_map(system, "/pm/none")
+
+    def test_open_size_mismatch_rejected(self, system):
+        gpm_map(system, "/pm/a", 64, create=True)
+        with pytest.raises(MappingError):
+            gpm_map(system, "/pm/a", 128)
+
+    def test_reopen_after_crash_preserves_persisted(self, system):
+        r = gpm_map(system, "/pm/a", 64, create=True)
+        r.view(np.uint32, 0, 1)[0] = 9
+        r.region.persist_range(0, 4)
+        system.crash()
+        r2 = gpm_map(system, "/pm/a")
+        assert r2.view(np.uint32, 0, 1)[0] == 9
+
+    def test_unmap_blocks_access(self, system):
+        r = gpm_map(system, "/pm/a", 64, create=True)
+        gpm_unmap(system, r)
+        with pytest.raises(MappingError):
+            r.array(np.uint32)
+        with pytest.raises(MappingError):
+            gpm_unmap(system, r)
+
+    def test_contents_survive_unmap(self, system):
+        r = gpm_map(system, "/pm/a", 64, create=True)
+        r.view(np.uint8)[:] = 4
+        gpm_unmap(system, r)
+        assert (gpm_map(system, "/pm/a").view(np.uint8) == 4).all()
+
+
+class TestPersistWindow:
+    def test_begin_end_toggle_ddio(self, system):
+        gpm_persist_begin(system)
+        assert not system.machine.ddio_enabled
+        gpm_persist_end(system)
+        assert system.machine.ddio_enabled
+
+    def test_context_manager(self, system):
+        with persist_window(system):
+            assert not system.machine.ddio_enabled
+        assert system.machine.ddio_enabled
+
+    def test_window_restores_on_exception(self, system):
+        with pytest.raises(RuntimeError):
+            with persist_window(system):
+                raise RuntimeError("boom")
+        assert system.machine.ddio_enabled
+
+    def test_noop_on_eadr(self, eadr_system):
+        gpm_persist_begin(eadr_system)
+        assert eadr_system.machine.ddio_enabled  # untouched: LLC is durable
+        gpm_persist_end(eadr_system)
+
+    def test_window_has_cost(self, system):
+        t0 = system.clock.now
+        with persist_window(system):
+            pass
+        assert system.clock.now > t0
+
+    def test_eadr_window_is_free(self, eadr_system):
+        t0 = eadr_system.clock.now
+        with persist_window(eadr_system):
+            pass
+        assert eadr_system.clock.now == t0

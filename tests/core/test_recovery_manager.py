@@ -1,0 +1,111 @@
+"""RecoveryManager: system-wide post-crash orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransactionFlag, gpmlog_create_hcl, gpmlog_insert, persist_window
+from repro.core.recovery import RecoveryManager
+from repro.pstruct import PersistentHashMap, PersistentRing
+from repro.sim import CrashInjector, SimulatedCrash
+
+
+class TestGenericRecovery:
+    def test_recovers_interrupted_hashmap(self, system):
+        pmap = PersistentHashMap.create(system, "/pm/map", capacity=1024)
+        pmap.insert_batch([1, 2], [10, 20])
+        inj = CrashInjector(system.machine)
+        inj.arm(16)
+        with pytest.raises(SimulatedCrash):
+            pmap.insert_batch(np.arange(100, 164, dtype=np.uint64),
+                              np.arange(100, 164, dtype=np.uint64),
+                              crash_injector=inj)
+        report = RecoveryManager(system).run()
+        actions = {a.path: a for a in report.actions}
+        assert actions["/pm/map"].action == "hashmap-undo"
+        assert "undone" in actions["/pm/map"].detail
+        # siblings claimed by the map, not re-processed as orphans
+        assert actions["/pm/map.log"].path  # present
+        assert actions["/pm/map.log"].action != "truncate-stale-log"
+        recovered = PersistentHashMap.open(system, "/pm/map")
+        assert recovered.get(1) == 10
+        assert recovered.get(100) is None
+
+    def test_repairs_ring_cursor(self, system):
+        ring = PersistentRing.create(system, "/pm/ring", capacity=64)
+
+        def k(ctx, ring):
+            if ctx.global_id < 8:
+                ring.append(ctx, ctx.global_id)
+
+        with persist_window(system):
+            system.gpu.launch(k, 1, 32, (ring,))
+        system.crash()
+        report = RecoveryManager(system).run()
+        actions = {a.path: a for a in report.actions}
+        assert actions["/pm/ring"].action == "ring-cursor"
+        assert "cursor at 8" in actions["/pm/ring"].detail
+
+    def test_truncates_stale_log_with_idle_flag(self, system):
+        log = gpmlog_create_hcl(system, "/pm/app.log", 1 << 20, 1, 32)
+        TransactionFlag.create(system, "/pm/app.flag")  # idle
+
+        def k(ctx, log):
+            gpmlog_insert(ctx, log, np.uint32(1))
+
+        with persist_window(system):
+            system.gpu.launch(k, 1, 32, (log,))
+        system.crash()
+        report = RecoveryManager(system).run()
+        actions = {a.path: a for a in report.actions}
+        assert actions["/pm/app.log"].action == "truncate-stale-log"
+        assert all(log.host_tail(s) == 0 for s in range(32))
+
+    def test_preserves_log_under_active_flag(self, system):
+        log = gpmlog_create_hcl(system, "/pm/app.log", 1 << 20, 1, 32)
+        flag = TransactionFlag.create(system, "/pm/app.flag")
+        flag.begin()
+
+        def k(ctx, log):
+            gpmlog_insert(ctx, log, np.uint32(7))
+
+        with persist_window(system):
+            system.gpu.launch(k, 1, 32, (log,))
+        system.crash()
+        report = RecoveryManager(system).run()
+        actions = {a.path: a for a in report.actions}
+        assert actions["/pm/app.log"].action == "skip"
+        assert log.host_tail(0) == 1  # evidence preserved
+
+    def test_checkpoints_untouched(self, system):
+        from repro.core import gpmcp_create
+
+        gpmcp_create(system, "/pm/cp", 4096, 1, 1)
+        report = RecoveryManager(system).run()
+        actions = {a.path: a for a in report.actions}
+        assert actions["/pm/cp"].action == "skip"
+        assert "consistent" in actions["/pm/cp"].detail
+
+
+class TestHandlers:
+    def test_handler_claims_prefix(self, system):
+        log = gpmlog_create_hcl(system, "/pm/custom.log", 1 << 20, 1, 32)
+        seen = []
+
+        def handler(sys_, file_report):
+            seen.append(file_report.path)
+            return 1e-6
+
+        manager = RecoveryManager(system)
+        manager.register_handler("/pm/custom", handler)
+        report = manager.run()
+        assert seen == ["/pm/custom.log"]
+        actions = {a.path: a for a in report.actions}
+        assert actions["/pm/custom.log"].action == "handler"
+
+    def test_report_describe(self, system):
+        PersistentRing.create(system, "/pm/ring", capacity=16)
+        report = RecoveryManager(system).run()
+        text = report.describe()
+        assert "recovery report" in text
+        assert "/pm/ring" in text
+        assert report.total_elapsed >= 0

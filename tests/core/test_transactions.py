@@ -1,0 +1,35 @@
+"""Transaction-flag protocol."""
+
+from repro.core import TransactionFlag
+
+
+class TestTransactionFlag:
+    def test_starts_idle(self, system):
+        flag = TransactionFlag.create(system, "/pm/flag")
+        assert not flag.active
+
+    def test_begin_commit_cycle(self, system):
+        flag = TransactionFlag.create(system, "/pm/flag")
+        flag.begin()
+        assert flag.active
+        flag.commit()
+        assert not flag.active
+
+    def test_begin_is_durable_immediately(self, system):
+        flag = TransactionFlag.create(system, "/pm/flag")
+        flag.begin()
+        system.crash()
+        assert TransactionFlag.open(system, "/pm/flag").active
+
+    def test_commit_is_durable(self, system):
+        flag = TransactionFlag.create(system, "/pm/flag")
+        flag.begin()
+        flag.commit()
+        system.crash()
+        assert not TransactionFlag.open(system, "/pm/flag").active
+
+    def test_begin_has_cost(self, system):
+        flag = TransactionFlag.create(system, "/pm/flag")
+        t0 = system.clock.now
+        flag.begin()
+        assert system.clock.now > t0

@@ -1,0 +1,105 @@
+"""Ablations and the CXL extension."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    binomial_counter_example,
+    ddio_ablation,
+    hcl_striping_ablation,
+    log_entry_size_sweep,
+    warp_coalescing_ablation,
+)
+from repro.extensions import (
+    GpfEngine,
+    cxl_config,
+    cxl_projection,
+    gpf_inadequacy_demo,
+)
+from repro.sim import DEFAULT_CONFIG
+from repro.system import System
+
+
+class TestStripingAblation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return hcl_striping_ablation()
+
+    def test_striping_wins_severalfold(self, table):
+        assert table.lookup("striped (Fig. 5)", "speedup_vs_unstriped") > 3
+
+    def test_striping_cuts_transactions(self, table):
+        striped_tx = table.lookup("striped (Fig. 5)", "pcie_tx")
+        unstriped_tx = table.lookup("contiguous per thread", "pcie_tx")
+        assert unstriped_tx > 4 * striped_tx
+
+
+class TestCoalescingAblation:
+    def test_strided_stores_cost_more(self):
+        table = warp_coalescing_ablation()
+        slow = table.column("slowdown_vs_coalesced")
+        assert slow[0] == 1
+        assert slow[1] > 3
+        tx = table.column("pcie_tx")
+        assert tx[1] == 32 * tx[0]  # 32 lanes scatter to 32 lines
+
+
+class TestDdioAblation:
+    def test_window_is_what_buys_durability(self):
+        table = ddio_ablation()
+        on = table.rows[0]
+        off = table.rows[1]
+        assert on[2] == 0 and on[3] is False
+        assert off[2] > 0 and off[3] is True
+        # the durability costs almost nothing in latency here (media absorbed)
+        assert off[1] < 3 * on[1]
+
+
+class TestEntrySizeSweep:
+    def test_per_stripe_cost_amortises(self):
+        table = log_entry_size_sweep()
+        per_stripe = table.column("us_per_stripe")
+        assert all(a >= b for a, b in zip(per_stripe, per_stripe[1:]))
+
+    def test_latency_grows_sublinearly(self):
+        table = log_entry_size_sweep()
+        lat = table.column("latency_us")
+        assert lat[-1] < 4 * lat[0]  # 16x the data, <4x the time
+
+
+class TestBinomialCounterExample:
+    def test_gpkvs_benefits_binomial_does_not(self):
+        table = binomial_counter_example()
+        kvs = table.lookup("gpKVS", "gpm_vs_capfs")
+        bino = table.lookup("binomial options", "gpm_vs_capfs")
+        assert kvs > 3 * bino
+
+
+class TestCxlExtension:
+    def test_config_overrides(self):
+        cfg = cxl_config()
+        assert cfg.pcie_bw > DEFAULT_CONFIG.pcie_bw
+        assert cfg.pcie_rtt_s < DEFAULT_CONFIG.pcie_rtt_s
+        assert cfg.pm_bw_seq_aligned == DEFAULT_CONFIG.pm_bw_seq_aligned
+
+    def test_projection_shape(self):
+        table = cxl_projection()
+        # workloads are media-bound: CXL changes little
+        for row in table.rows[:-1]:
+            assert 0.95 < row[3] < 2.0
+        # the persist plateau roughly doubles
+        assert table.rows[-1][3] > 1.5
+
+    def test_gpf_flushes_everything(self):
+        system = System(cxl_config())
+        region = system.machine.alloc_pm("x", 4096)
+        region.write_bytes(0, [7] * 4096)
+        system.machine.llc.install_writes(region, [0], [4096])
+        t = GpfEngine(system).gpf()
+        assert t > 0
+        assert region.unpersisted_bytes() == 0
+
+    def test_gpf_inadequacy_demo(self):
+        evidence = gpf_inadequacy_demo()
+        assert evidence["survived_without_gpf"] == 0
+        assert evidence["survived_with_gpf"] == evidence["visible_before_crash"]

@@ -1,0 +1,90 @@
+"""ExperimentTable plumbing."""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentTable
+
+
+@pytest.fixture
+def table():
+    t = ExperimentTable("demo", "A demo table", ["workload", "speedup"])
+    t.add("BFS", 85.0)
+    t.add("PS", 11.0)
+    return t
+
+
+class TestTable:
+    def test_add_validates_arity(self, table):
+        with pytest.raises(ValueError):
+            table.add("only-one")
+
+    def test_tsv(self, table):
+        tsv = table.to_tsv()
+        lines = tsv.strip().split("\n")
+        assert lines[0] == "workload\tspeedup"
+        assert lines[1] == "BFS\t85"
+
+    def test_text_contains_title_and_notes(self, table):
+        table.notes.append("a caveat")
+        text = table.to_text()
+        assert "A demo table" in text
+        assert "note: a caveat" in text
+
+    def test_save(self, table, tmp_path):
+        path = table.save(str(tmp_path))
+        assert path.endswith("out_demo.txt")
+        assert os.path.exists(path)
+        with open(path) as f:
+            assert f.readline().startswith("workload")
+
+    def test_column(self, table):
+        assert table.column("speedup") == [85.0, 11.0]
+
+    def test_lookup(self, table):
+        assert table.lookup("PS", "speedup") == 11.0
+        with pytest.raises(KeyError):
+            table.lookup("nope", "speedup")
+
+    def test_float_formatting(self):
+        t = ExperimentTable("x", "x", ["v"])
+        t.add(0.123456789)
+        assert "0.1235" in t.to_tsv()
+
+
+class TestBars:
+    def _table(self):
+        from repro.experiments import ExperimentTable
+
+        t = ExperimentTable("b", "Bars", ["w", "speedup"])
+        t.add("BFS", 85.0)
+        t.add("PS", 11.0)
+        t.add("GPUfs", "*")
+        return t
+
+    def test_bars_render(self):
+        out = self._table().to_bars("speedup")
+        assert "BFS" in out and "#" in out
+        lines = out.splitlines()
+        bfs = next(l for l in lines if l.startswith("BFS"))
+        ps = next(l for l in lines if l.startswith("PS"))
+        assert bfs.count("#") > ps.count("#")
+
+    def test_non_numeric_cells_pass_through(self):
+        out = self._table().to_bars("speedup")
+        assert "*" in out
+
+    def test_log_scale_compresses(self):
+        lin = self._table().to_bars("speedup")
+        log = self._table().to_bars("speedup", log=True)
+        ps_lin = next(l for l in lin.splitlines() if l.startswith("PS")).count("#")
+        ps_log = next(l for l in log.splitlines() if l.startswith("PS")).count("#")
+        assert ps_log > ps_lin
+
+    def test_empty_column(self):
+        from repro.experiments import ExperimentTable
+
+        t = ExperimentTable("e", "E", ["w", "v"])
+        t.add("x", "*")
+        assert "no numeric data" in t.to_bars("v")

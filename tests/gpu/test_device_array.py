@@ -1,0 +1,87 @@
+"""DeviceArray: typed windows, bounds, metered vs unmetered access."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import DeviceArray
+
+
+@pytest.fixture
+def pm(system):
+    return system.machine.alloc_pm("p", 1024)
+
+
+class TestLayout:
+    def test_count_inferred(self, pm):
+        a = DeviceArray(pm, np.uint32)
+        assert len(a) == 256
+        assert a.nbytes == 1024
+
+    def test_offset_window(self, pm):
+        a = DeviceArray(pm, np.uint64, offset=512)
+        assert len(a) == 64
+        assert a.byte_offset(0) == 512
+        assert a.byte_offset(1) == 520
+
+    def test_explicit_count(self, pm):
+        a = DeviceArray(pm, np.uint32, offset=0, count=10)
+        assert len(a) == 10
+
+    def test_count_too_large_rejected(self, pm):
+        with pytest.raises(ValueError):
+            DeviceArray(pm, np.uint32, offset=1000, count=100)
+
+    def test_index_bounds(self, pm):
+        a = DeviceArray(pm, np.uint32, count=4)
+        with pytest.raises(IndexError):
+            a.byte_offset(4)
+        with pytest.raises(IndexError):
+            a.byte_offset(-1)
+
+
+class TestMeteredAccess:
+    def test_read_write_roundtrip(self, system, pm):
+        a = DeviceArray(pm, np.uint32)
+        out = []
+
+        def k(ctx, arr):
+            arr.write(ctx, ctx.global_id, ctx.global_id * 2)
+            out.append(int(arr.read(ctx, ctx.global_id)))
+
+        system.gpu.launch(k, 1, 32, (a,))
+        assert out == [i * 2 for i in range(32)]
+
+    def test_vector_ops(self, system, pm):
+        a = DeviceArray(pm, np.uint32)
+
+        def k(ctx, arr):
+            if ctx.global_id == 0:
+                arr.write_vec(ctx, 0, np.arange(8, dtype=np.uint32))
+                got = arr.read_vec(ctx, 0, 8)
+                assert list(got) == list(range(8))
+
+        system.gpu.launch(k, 1, 32, (a,))
+        assert list(a.np[:8]) == list(range(8))
+
+    def test_vector_overrun_rejected(self, system, pm):
+        a = DeviceArray(pm, np.uint32, count=4)
+
+        def k(ctx, arr):
+            if ctx.global_id == 0:
+                arr.write_vec(ctx, 2, np.zeros(4, dtype=np.uint32))
+
+        with pytest.raises(IndexError):
+            system.gpu.launch(k, 1, 1, (a,))
+
+
+class TestUnmeteredAccess:
+    def test_np_is_live_view(self, pm):
+        a = DeviceArray(pm, np.uint32)
+        a.np[0] = 77
+        assert pm.view(np.uint32, 0, 1)[0] == 77
+
+    def test_np_persisted_requires_pm(self, system):
+        hbm = system.machine.alloc_hbm("h", 64)
+        a = DeviceArray(hbm, np.uint32)
+        with pytest.raises(TypeError):
+            a.np_persisted

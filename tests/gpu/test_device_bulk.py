@@ -1,0 +1,139 @@
+"""Engine-level bulk operations: stream_copy, scatter_store_bulk, compute."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import DeviceArray
+
+
+class TestStreamCopy:
+    def test_hbm_to_pm_copies_and_persists(self, system):
+        system.machine.set_ddio(False)
+        hbm = system.machine.alloc_hbm("h", 4096)
+        pm = system.machine.alloc_pm("p", 4096)
+        hbm.view(np.uint8)[:] = 42
+        t = system.gpu.stream_copy(pm, 0, hbm, 0, 4096, persist=True)
+        assert t > 0
+        assert (pm.persisted_view(np.uint8) == 42).all()
+
+    def test_pm_to_hbm_restore(self, system):
+        hbm = system.machine.alloc_hbm("h", 4096)
+        pm = system.machine.alloc_pm("p", 4096)
+        pm.view(np.uint8)[:] = 9
+        system.gpu.stream_copy(hbm, 0, pm, 0, 4096)
+        assert (hbm.view(np.uint8) == 9).all()
+
+    def test_hbm_to_hbm(self, system):
+        a = system.machine.alloc_hbm("a", 4096)
+        b = system.machine.alloc_hbm("b", 4096)
+        a.view(np.uint8)[:] = 3
+        t = system.gpu.stream_copy(b, 0, a, 0, 4096)
+        assert (b.view(np.uint8) == 3).all()
+        assert t > 0
+
+    def test_bandwidth_bound_large_copy(self, system):
+        system.machine.set_ddio(False)
+        hbm = system.machine.alloc_hbm("h", 4 << 20)
+        pm = system.machine.alloc_pm("p", 4 << 20)
+        t = system.gpu.stream_copy(pm, 0, hbm, 0, 4 << 20, persist=True)
+        # must beat the flush-grain path by a wide margin (streaming)
+        assert (4 << 20) / t > 9e9
+
+    def test_negative_size_rejected(self, system):
+        hbm = system.machine.alloc_hbm("h", 64)
+        pm = system.machine.alloc_pm("p", 64)
+        with pytest.raises(ValueError):
+            system.gpu.stream_copy(pm, 0, hbm, 0, -1)
+
+    def test_offsets_respected(self, system):
+        hbm = system.machine.alloc_hbm("h", 256)
+        pm = system.machine.alloc_pm("p", 256)
+        hbm.view(np.uint8)[10:20] = 7
+        system.gpu.stream_copy(pm, 100, hbm, 10, 10)
+        assert (pm.view(np.uint8, 100, 10) == 7).all()
+
+
+class TestScatterStoreBulk:
+    def test_functional_scatter(self, system):
+        system.machine.set_ddio(False)
+        pm = system.machine.alloc_pm("p", 4096)
+        offs = np.array([0, 100, 200])
+        vals = np.array([1, 2, 3], dtype=np.uint32)
+        system.gpu.scatter_store_bulk(pm, offs, vals, item_bytes=4)
+        assert pm.view(np.uint32, 0, 1)[0] == 1
+        assert pm.view(np.uint32, 100, 1)[0] == 2
+        assert pm.view(np.uint32, 200, 1)[0] == 3
+        assert pm.unpersisted_bytes() == 0  # fenced, DDIO off
+
+    def test_empty_scatter_costs_launch_only(self, system):
+        pm = system.machine.alloc_pm("p", 64)
+        t = system.gpu.scatter_store_bulk(pm, np.array([], dtype=np.int64),
+                                          np.array([], dtype=np.uint32), 4)
+        assert t == pytest.approx(system.config.gpu_kernel_launch_s)
+
+    def test_contiguous_cheaper_than_scattered(self, system):
+        system.machine.set_ddio(False)
+        pm = system.machine.alloc_pm("p", 1 << 20)
+        n = 1024
+        vals = np.arange(n, dtype=np.uint32)
+        t_dense = system.gpu.scatter_store_bulk(
+            pm, np.arange(n, dtype=np.int64) * 4, vals, 4)
+        t_sparse = system.gpu.scatter_store_bulk(
+            pm, np.arange(n, dtype=np.int64) * 512, vals, 4)
+        assert t_sparse > 2 * t_dense
+
+    def test_hbm_target_is_cheap(self, system):
+        hbm = system.machine.alloc_hbm("h", 1 << 20)
+        n = 1024
+        t = system.gpu.scatter_store_bulk(
+            hbm, np.arange(n, dtype=np.int64) * 512,
+            np.arange(n, dtype=np.uint32), 4)
+        assert t < 2 * system.config.gpu_kernel_launch_s
+
+    def test_value_size_mismatch_rejected(self, system):
+        pm = system.machine.alloc_pm("p", 64)
+        with pytest.raises(ValueError):
+            system.gpu.scatter_store_bulk(pm, np.array([0, 8]),
+                                          np.array([1], dtype=np.uint32), 4)
+
+    def test_matches_per_thread_kernel_semantics(self, system):
+        """The bulk path must persist the same bytes a real kernel would."""
+        system.machine.set_ddio(False)
+        pm = system.machine.alloc_pm("p", 8192)
+        offs = (np.arange(64, dtype=np.int64) * 12)  # unaligned stride
+        vals = np.arange(64, dtype=np.uint32) + 1
+        system.gpu.scatter_store_bulk(pm, offs, vals, 4)
+        for i in range(64):
+            assert pm.persisted_view(np.uint32, int(offs[i]), 1)[0] == i + 1
+
+
+class TestCompute:
+    def test_advances_clock(self, system):
+        t = system.gpu.compute(1_000_000)
+        assert system.clock.now == pytest.approx(t)
+        assert t > system.config.gpu_kernel_launch_s
+
+    def test_active_threads_limits_parallelism(self, system):
+        fast = system.gpu.compute(10_000_000)
+        slow = system.gpu.compute(10_000_000, active_threads=64)
+        assert slow > fast
+
+
+class TestStoreAndPersistValue:
+    def test_durable_single_word(self, system):
+        system.machine.set_ddio(False)
+        pm = system.machine.alloc_pm("p", 64)
+        t = system.gpu.store_and_persist_value(pm, 0, 0xDEAD, np.uint32)
+        assert t >= system.config.pcie_rtt_s
+        assert pm.persisted_view(np.uint32, 0, 1)[0] == 0xDEAD
+
+    def test_ddio_on_not_durable(self, system):
+        pm = system.machine.alloc_pm("p", 64)
+        system.gpu.store_and_persist_value(pm, 0, 7, np.uint32)
+        assert pm.persisted_view(np.uint32, 0, 1)[0] == 0
+
+    def test_eadr_effectively_durable(self, eadr_system):
+        pm = eadr_system.machine.alloc_pm("p", 64)
+        eadr_system.gpu.store_and_persist_value(pm, 0, 7, np.uint32)
+        eadr_system.crash()
+        assert pm.view(np.uint32, 0, 1)[0] == 7

@@ -1,0 +1,124 @@
+"""Property-based tests of the kernel engine's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import System
+from repro.gpu import DeviceArray
+
+# Each thread stores its id at a (possibly shared-line) derived offset and
+# fences; afterwards the persisted image must exactly reflect program order.
+pattern = st.lists(st.integers(0, 500), min_size=1, max_size=96)
+
+
+class TestFunctionalCorrectness:
+    @settings(max_examples=25, deadline=None)
+    @given(slots=pattern)
+    def test_fenced_stores_all_persist(self, slots):
+        system = System()
+        system.machine.set_ddio(False)
+        region = system.machine.alloc_pm("p", 4096)
+        arr = DeviceArray(region, np.uint32)
+        n = len(slots)
+
+        def k(ctx, a):
+            if ctx.global_id < n:
+                a.write(ctx, slots[ctx.global_id], ctx.global_id + 1)
+                ctx.persist()
+
+        blocks = (n + 31) // 32
+        system.gpu.launch(k, blocks, 32, (arr,))
+        # Later threads overwrite earlier ones at shared slots; the engine
+        # executes in thread order, so the last writer wins.
+        expected = np.zeros(1024, dtype=np.uint32)
+        for tid, slot in enumerate(slots):
+            expected[slot] = tid + 1
+        assert np.array_equal(arr.np_persisted[:1024], expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(slots=pattern)
+    def test_visible_equals_persisted_after_fences(self, slots):
+        system = System()
+        system.machine.set_ddio(False)
+        region = system.machine.alloc_pm("p", 4096)
+        arr = DeviceArray(region, np.uint32)
+        n = len(slots)
+
+        def k(ctx, a):
+            if ctx.global_id < n:
+                a.write(ctx, slots[ctx.global_id], 7)
+                ctx.persist()
+
+        system.gpu.launch(k, (n + 31) // 32, 32, (arr,))
+        assert region.unpersisted_bytes() == 0
+
+
+class TestTransactionBounds:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_threads=st.integers(1, 256),
+        stride_words=st.sampled_from([1, 2, 4, 16, 32]),
+    )
+    def test_tx_count_between_ideal_and_naive(self, n_threads, stride_words):
+        """Coalesced tx count is bounded by [bytes/128, one per store]."""
+        system = System()
+        system.machine.set_ddio(False)
+        region = system.machine.alloc_pm("p", 1 << 20)
+        arr = DeviceArray(region, np.uint32)
+
+        def k(ctx, a):
+            if ctx.global_id < n_threads:
+                a.write(ctx, ctx.global_id * stride_words, 1)
+                ctx.persist()
+
+        res = system.gpu.launch(k, (n_threads + 127) // 128, 128, (arr,))
+        tx = res.accounting.host_write_tx
+        span_bytes = n_threads * stride_words * 4
+        ideal = max(1, -(-span_bytes // 128))
+        assert ideal <= tx <= n_threads
+
+    @settings(max_examples=20, deadline=None)
+    @given(n_threads=st.integers(1, 512))
+    def test_elapsed_monotone_in_fence_rounds(self, n_threads):
+        system = System()
+        system.machine.set_ddio(False)
+        region = system.machine.alloc_pm("p", 1 << 20)
+        arr = DeviceArray(region, np.uint32)
+
+        def one_round(ctx, a):
+            if ctx.global_id < n_threads:
+                a.write(ctx, ctx.global_id, 1)
+                ctx.persist()
+
+        def three_rounds(ctx, a):
+            if ctx.global_id < n_threads:
+                for j in range(3):
+                    a.write(ctx, ctx.global_id + j * 1024, 1)
+                    ctx.persist()
+
+        blocks = (n_threads + 127) // 128
+        t1 = system.gpu.launch(one_round, blocks, 128, (arr,)).elapsed
+        t3 = system.gpu.launch(three_rounds, blocks, 128, (arr,)).elapsed
+        assert t3 > t1
+
+
+class TestGeneratorEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(values=st.lists(st.integers(0, 1000), min_size=32, max_size=32))
+    def test_barrier_reduction_matches_numpy(self, values):
+        """Block-wide max via shared memory and one barrier."""
+        system = System()
+        region = system.machine.alloc_pm("p", 4096)
+        arr = DeviceArray(region, np.int64)
+
+        def k(ctx, a):
+            ctx.shared.setdefault("vals", {})[ctx.thread_in_block] = \
+                values[ctx.global_id]
+            yield
+            if ctx.thread_in_block == 0:
+                a.write(ctx, 0, max(ctx.shared["vals"].values()))
+
+        system.gpu.launch(k, 1, 32, (arr,))
+        assert int(arr.np[0]) == max(values)

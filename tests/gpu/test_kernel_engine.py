@@ -1,0 +1,314 @@
+"""The SIMT kernel engine: execution, coalescing, fences, barriers, crash."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import DeviceArray, GpuFault
+from repro.sim import CrashInjector, SimulatedCrash
+
+
+def _pm_array(system, size=1 << 16, dtype=np.uint32, name="pm"):
+    region = system.machine.alloc_pm(name, size)
+    return DeviceArray(region, dtype)
+
+
+class TestExecution:
+    def test_every_thread_runs_once(self, system):
+        arr = _pm_array(system)
+
+        def k(ctx, a):
+            a.write(ctx, ctx.global_id, 1)
+
+        res = system.gpu.launch(k, 4, 64, (arr,))
+        assert res.threads == 256
+        assert arr.np[:256].sum() == 256
+
+    def test_grid_and_block_identities(self, system):
+        arr = _pm_array(system)
+
+        def k(ctx, a):
+            a.write(ctx, ctx.global_id, ctx.block_id * 1000 + ctx.thread_in_block)
+
+        system.gpu.launch(k, 2, 32, (arr,))
+        assert arr.np[0] == 0
+        assert arr.np[33] == 1001
+
+    def test_block_limit(self, system):
+        with pytest.raises(GpuFault):
+            system.gpu.launch(lambda ctx: None, 1, 1025)
+
+    def test_kernel_count_stat(self, system):
+        system.gpu.launch(lambda ctx: None, 1, 32)
+        assert system.stats.kernels_launched == 1
+
+    def test_elapsed_positive_and_clock_advances(self, system):
+        res = system.gpu.launch(lambda ctx: None, 1, 32)
+        assert res.elapsed >= system.config.gpu_kernel_launch_s
+        assert system.clock.now == pytest.approx(res.elapsed)
+
+
+class TestCoalescing:
+    def test_warp_adjacent_4b_stores_coalesce_into_one_tx(self, system):
+        arr = _pm_array(system)
+        system.machine.set_ddio(False)
+
+        def k(ctx, a):
+            a.write(ctx, ctx.global_id, 7)
+            ctx.persist()
+
+        res = system.gpu.launch(k, 1, 32, (arr,))
+        # 32 x 4 B adjacent = 128 B = exactly one PCIe transaction
+        assert res.accounting.host_write_tx == 1
+
+    def test_scattered_stores_do_not_coalesce(self, system):
+        arr = _pm_array(system)
+        system.machine.set_ddio(False)
+
+        def k(ctx, a):
+            a.write(ctx, ctx.global_id * 64, 7)  # 256 B apart
+            ctx.persist()
+
+        res = system.gpu.launch(k, 1, 32, (arr,))
+        assert res.accounting.host_write_tx == 32
+
+    def test_coalesced_cheaper_than_scattered(self, system):
+        arr = _pm_array(system, size=1 << 18, name="a")
+        arr2 = DeviceArray(system.machine.alloc_pm("b", 1 << 18), np.uint32)
+        system.machine.set_ddio(False)
+
+        def dense(ctx, a):
+            a.write(ctx, ctx.global_id, 7)
+            ctx.persist()
+
+        def sparse(ctx, a):
+            a.write(ctx, ctx.global_id * 64, 7)
+            ctx.persist()
+
+        t_dense = system.gpu.launch(dense, 4, 128, (arr,)).elapsed
+        t_sparse = system.gpu.launch(sparse, 4, 128, (arr2,)).elapsed
+        assert t_sparse > 2 * t_dense
+
+    def test_hbm_stores_are_not_host_traffic(self, system):
+        hbm = system.machine.alloc_hbm("h", 4096)
+        arr = DeviceArray(hbm, np.uint32)
+
+        def k(ctx, a):
+            a.write(ctx, ctx.global_id, 1)
+
+        res = system.gpu.launch(k, 1, 32, (arr,))
+        assert res.accounting.host_write_tx == 0
+        assert res.accounting.hbm_write_bytes == 128
+
+
+class TestFences:
+    def test_persist_with_ddio_off_is_durable(self, system):
+        arr = _pm_array(system)
+        system.machine.set_ddio(False)
+
+        def k(ctx, a):
+            a.write(ctx, ctx.global_id, ctx.global_id)
+            ctx.persist()
+
+        system.gpu.launch(k, 2, 64, (arr,))
+        assert (arr.np_persisted[:128] == np.arange(128)).all()
+
+    def test_persist_with_ddio_on_is_not_durable(self, system):
+        arr = _pm_array(system)
+
+        def k(ctx, a):
+            a.write(ctx, ctx.global_id, 5)
+            ctx.persist()
+
+        system.gpu.launch(k, 2, 64, (arr,))
+        assert not arr.np_persisted[:128].any()
+        system.crash()
+        assert not arr.np[:128].any()
+
+    def test_unfenced_writes_visible_but_delivered_at_warp_retire(self, system):
+        arr = _pm_array(system)
+        system.machine.set_ddio(False)
+
+        def k(ctx, a):
+            a.write(ctx, ctx.global_id, 9)  # no fence
+
+        res = system.gpu.launch(k, 1, 32, (arr,))
+        assert (arr.np[:32] == 9).all()
+        assert (arr.np_persisted[:32] == 9).all()  # eventual drain
+        assert res.accounting.max_warp_rounds == 0  # no fence rounds charged
+
+    def test_fence_rounds_counted_per_thread(self, system):
+        arr = _pm_array(system)
+        system.machine.set_ddio(False)
+
+        def k(ctx, a):
+            for j in range(3):
+                a.write(ctx, ctx.global_id + j * 1024, j)
+                ctx.persist()
+
+        res = system.gpu.launch(k, 1, 32, (arr,))
+        assert res.accounting.max_warp_rounds == 3
+        assert res.accounting.fences == 96
+
+    def test_fence_chain_bounds_elapsed(self, system):
+        arr = _pm_array(system)
+        system.machine.set_ddio(False)
+        rounds = 10
+
+        def k(ctx, a):
+            for j in range(rounds):
+                a.write(ctx, ctx.global_id, j)
+                ctx.persist()
+
+        res = system.gpu.launch(k, 1, 32, (arr,))
+        assert res.elapsed >= rounds * system.config.pcie_rtt_s
+
+    def test_device_scope_fence_gives_no_durability(self, system):
+        arr = _pm_array(system)
+        system.machine.set_ddio(False)
+
+        def k(ctx, a):
+            a.write(ctx, ctx.global_id, 1)
+            ctx.threadfence()  # device scope: visibility only
+
+        res = system.gpu.launch(k, 1, 32, (arr,))
+        assert res.accounting.max_warp_rounds == 0
+
+
+class TestBarriers:
+    def test_generator_kernel_barrier_ordering(self, system):
+        arr = _pm_array(system)
+
+        def k(ctx, a):
+            a.write(ctx, ctx.global_id, 1)
+            yield
+            if ctx.thread_in_block == 0:
+                # after the barrier every thread's store must be visible
+                total = sum(int(a.np[i]) for i in range(ctx.block_dim))
+                a.write(ctx, 1000 + ctx.block_id, total)
+
+        system.gpu.launch(k, 2, 64, (arr,))
+        assert arr.np[1000] == 64
+        assert arr.np[1001] == 64
+
+    def test_generator_kernel_multiple_barriers(self, system):
+        arr = _pm_array(system)
+        trace = []
+
+        def k(ctx, a):
+            trace.append(("p1", ctx.global_id))
+            yield
+            trace.append(("p2", ctx.global_id))
+            yield
+            trace.append(("p3", ctx.global_id))
+
+        system.gpu.launch(k, 1, 8, (arr,))
+        phases = [p for p, _ in trace]
+        assert phases == ["p1"] * 8 + ["p2"] * 8 + ["p3"] * 8
+
+
+class TestAtomics:
+    def test_atomic_add_returns_old(self, system):
+        hbm = system.machine.alloc_hbm("h", 64)
+        arr = DeviceArray(hbm, np.int64)
+        seen = []
+
+        def k(ctx, a):
+            seen.append(int(a.atomic_add(ctx, 0, 1)))
+
+        system.gpu.launch(k, 1, 64, (arr,))
+        assert sorted(seen) == list(range(64))
+        assert arr.np[0] == 64
+
+    def test_atomic_cas(self, system):
+        hbm = system.machine.alloc_hbm("h", 64)
+        arr = DeviceArray(hbm, np.int64)
+        wins = []
+
+        def k(ctx, a):
+            if int(a.atomic_cas(ctx, 0, 0, ctx.global_id + 1)) == 0:
+                wins.append(ctx.global_id)
+
+        system.gpu.launch(k, 1, 32, (arr,))
+        assert len(wins) == 1
+        assert arr.np[0] == wins[0] + 1
+
+    def test_atomic_max(self, system):
+        hbm = system.machine.alloc_hbm("h", 64)
+        arr = DeviceArray(hbm, np.int64)
+
+        def k(ctx, a):
+            a.atomic_max(ctx, 0, (ctx.global_id * 7) % 50)
+
+        system.gpu.launch(k, 1, 64, (arr,))
+        assert arr.np[0] == max((i * 7) % 50 for i in range(64))
+
+
+class TestCrashDuringKernel:
+    def test_crash_loses_in_flight_warp(self, system):
+        arr = _pm_array(system)
+        system.machine.set_ddio(False)
+
+        def k(ctx, a):
+            a.write(ctx, ctx.global_id, 1)
+            ctx.persist()
+
+        inj = CrashInjector(system.machine)
+        inj.arm(40)  # mid second warp
+        with pytest.raises(SimulatedCrash):
+            system.gpu.launch(k, 1, 128, (arr,), crash_injector=inj)
+        # first warp delivered and durable; second warp's batch lost
+        assert (arr.np[:32] == 1).all()
+        assert not arr.np[32:128].any()
+
+    def test_crash_charges_partial_time(self, system):
+        arr = _pm_array(system)
+        inj = CrashInjector(system.machine)
+        inj.arm(1)
+
+        def k(ctx, a):
+            a.write(ctx, ctx.global_id, 1)
+            ctx.persist()
+
+        with pytest.raises(SimulatedCrash):
+            system.gpu.launch(k, 8, 128, (arr,), crash_injector=inj)
+        assert system.clock.now > 0
+
+
+class TestChargeSerial:
+    def test_serial_time_floors_elapsed(self, system):
+        def k(ctx):
+            ctx.charge_serial_time(1e-3)
+
+        res = system.gpu.launch(k, 1, 32)
+        assert res.elapsed >= 1e-3
+
+    def test_serial_time_is_max_not_sum(self, system):
+        def k(ctx):
+            ctx.charge_serial_time(1e-4)
+
+        res = system.gpu.launch(k, 1, 64)
+        assert res.accounting.serial_time == pytest.approx(1e-4)
+
+
+class TestSharedMemory:
+    def test_shared_is_per_block(self, system):
+        arr = _pm_array(system)
+
+        def k(ctx, a):
+            ctx.shared.setdefault("count", [0])
+            ctx.shared["count"][0] += 1
+            if ctx.thread_in_block == ctx.block_dim - 1:
+                a.write(ctx, ctx.block_id, ctx.shared["count"][0])
+
+        system.gpu.launch(k, 3, 32, (arr,))
+        assert list(arr.np[:3]) == [32, 32, 32]
+
+    def test_shared_factory(self, system):
+        arr = _pm_array(system)
+
+        def k(ctx, a):
+            a.write(ctx, ctx.block_id, ctx.shared["tag"])
+
+        system.gpu.launch(k, 2, 32, (arr,),
+                          shared_factory=lambda b: {"tag": 100 + b})
+        assert list(arr.np[:2]) == [100, 101]

@@ -1,0 +1,75 @@
+"""Multi-GPU coordination over one persistence domain."""
+
+import numpy as np
+import pytest
+
+from repro.core.persist import persist_window
+from repro.gpu import DeviceArray, MultiGpu
+from repro.experiments.multigpu import multi_gpu_scaling
+
+
+def _writer(ctx, arr, tag):
+    arr.write(ctx, ctx.global_id, tag)
+    ctx.persist()
+
+
+class TestMultiGpu:
+    def test_construction(self, system):
+        multi = MultiGpu(system.machine, 3)
+        assert len(multi) == 3
+        with pytest.raises(ValueError):
+            MultiGpu(system.machine, 0)
+
+    def test_parallel_launch_functional_effects(self, system):
+        system.machine.set_ddio(False)
+        multi = MultiGpu(system.machine, 2)
+        a = DeviceArray(system.machine.alloc_pm("a", 4096), np.uint32)
+        b = DeviceArray(system.machine.alloc_pm("b", 4096), np.uint32)
+        group = multi.parallel_launch([
+            (_writer, 1, 64, (a, 1)),
+            (_writer, 1, 64, (b, 2)),
+        ])
+        assert (a.np_persisted[:64] == 1).all()
+        assert (b.np_persisted[:64] == 2).all()
+        assert len(group.per_gpu) == 2
+
+    def test_overlap_charges_critical_path_not_sum(self, system):
+        system.machine.set_ddio(False)
+        multi = MultiGpu(system.machine, 2)
+        a = DeviceArray(system.machine.alloc_pm("a", 65536), np.uint32)
+        b = DeviceArray(system.machine.alloc_pm("b", 65536), np.uint32)
+        group = multi.parallel_launch([
+            (_writer, 8, 128, (a, 1)),
+            (_writer, 8, 128, (b, 2)),
+        ])
+        per_gpu_sum = sum(r.elapsed for r in group.per_gpu)
+        assert group.elapsed < per_gpu_sum
+        assert group.elapsed >= max(r.elapsed for r in group.per_gpu)
+
+    def test_too_many_launches_rejected(self, system):
+        multi = MultiGpu(system.machine, 1)
+        a = DeviceArray(system.machine.alloc_pm("a", 4096), np.uint32)
+        with pytest.raises(ValueError):
+            multi.parallel_launch([
+                (_writer, 1, 32, (a, 1)),
+                (_writer, 1, 32, (a, 2)),
+            ])
+        with pytest.raises(ValueError):
+            multi.parallel_launch([])
+
+
+class TestScalingExperiment:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return multi_gpu_scaling()
+
+    def test_two_gpus_nearly_double(self, table):
+        assert table.rows[1][2] > 1.8
+
+    def test_saturates_at_media_bandwidth(self, table):
+        assert table.rows[-1][1] <= 12.6
+        assert table.rows[-1][3] is True  # media_bound
+
+    def test_monotone_nondecreasing(self, table):
+        thr = table.column("throughput_gbps")
+        assert all(b >= a * 0.999 for a, b in zip(thr, thr[1:]))

@@ -1,0 +1,84 @@
+"""CPU software model: persist paths, threading, nt-stores."""
+
+import numpy as np
+import pytest
+
+
+class TestWriteAndPersist:
+    def test_durable_on_return(self, system):
+        pm = system.machine.alloc_pm("p", 4096)
+        system.cpu.write_and_persist(pm, 0, np.full(100, 7, dtype=np.uint8))
+        assert (pm.persisted_view(np.uint8, 0, 100) == 7).all()
+
+    def test_thread_scaling_follows_amdahl(self, system):
+        pm = system.machine.alloc_pm("p", 1 << 22)
+        data = np.zeros(1 << 22, dtype=np.uint8)
+        t1 = system.cpu.write_and_persist(pm, 0, data, threads=1)
+        t64 = system.cpu.write_and_persist(pm, 0, data, threads=64)
+        assert t1 / t64 == pytest.approx(system.config.cpu_persist_speedup(64), rel=0.05)
+
+    def test_media_floor(self, system):
+        # A single thread can flush 1.6 GB/s but the media at 64 B grain
+        # caps at ~3.1 GB/s; many threads can't beat the media.
+        pm = system.machine.alloc_pm("p", 1 << 22)
+        t = system.cpu.persist_range(pm, 0, 1 << 22, threads=64)
+        media_floor = (1 << 22) / 3.125e9
+        assert t >= media_floor * 0.99
+
+    def test_bad_thread_count(self, system):
+        pm = system.machine.alloc_pm("p", 64)
+        with pytest.raises(ValueError):
+            system.cpu.persist_range(pm, 0, 64, threads=0)
+
+    def test_persist_range_requires_pm(self, system):
+        d = system.machine.alloc_dram("d", 64)
+        with pytest.raises(ValueError):
+            system.cpu.persist_range(d, 0, 64)
+
+
+class TestScattered:
+    def test_scattered_persist_durable(self, system):
+        pm = system.machine.alloc_pm("p", 1 << 16)
+        pm.visible[::64] = 1
+        t = system.cpu.persist_scattered(pm, [0, 4096, 8192], [64, 64, 64])
+        assert t > 0
+        assert pm.persisted_view(np.uint8, 4096, 1)[0] == 1
+
+    def test_scattered_slower_than_dense_per_byte(self, system):
+        pm = system.machine.alloc_pm("p", 1 << 20)
+        dense = system.cpu.persist_range(pm, 0, 64 * 64)
+        spread = system.cpu.persist_scattered(
+            pm, np.arange(64) * 8192, np.full(64, 64))
+        assert spread > dense
+
+
+class TestNtStores:
+    def test_nt_write_durable_and_bypasses_llc(self, system):
+        pm = system.machine.alloc_pm("p", 4096)
+        system.cpu.nt_write_and_persist(pm, 0, np.full(256, 3, dtype=np.uint8))
+        assert (pm.persisted_view(np.uint8, 0, 256) == 3).all()
+        assert len(system.machine.llc) == 0
+
+
+class TestPlainOps:
+    def test_store_visible_not_durable(self, system):
+        pm = system.machine.alloc_pm("p", 4096)
+        system.cpu.store(pm, 0, [5] * 10)
+        assert (pm.view(np.uint8, 0, 10) == 5).all()
+        assert pm.unpersisted_bytes() == 10
+
+    def test_memcpy_between_host_regions(self, system):
+        d = system.machine.alloc_dram("d", 128)
+        pm = system.machine.alloc_pm("p", 128)
+        d.write_bytes(0, [9] * 128)
+        t = system.cpu.memcpy(pm, 0, d, 0, 128)
+        assert t > 0
+        assert (pm.view(np.uint8) == 9).all()
+
+    def test_compute_advances_clock(self, system):
+        t = system.cpu.compute(1_000_000, threads=4)
+        assert system.clock.now == pytest.approx(t)
+
+    def test_read_pm_timed(self, system):
+        pm = system.machine.alloc_pm("p", 4096)
+        assert system.cpu.read_pm(pm, 0, 4096) > 0

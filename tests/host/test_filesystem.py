@@ -1,0 +1,89 @@
+"""DAX filesystem: namespace, write/fsync semantics, crash survival."""
+
+import numpy as np
+import pytest
+
+from repro.host import FsError
+
+
+class TestNamespace:
+    def test_create_open(self, system):
+        f = system.fs.create("/pm/a", 1024)
+        assert system.fs.open("/pm/a") is f
+        assert f.size == 1024
+
+    def test_duplicate_create_rejected(self, system):
+        system.fs.create("/pm/a", 64)
+        with pytest.raises(FsError):
+            system.fs.create("/pm/a", 64)
+
+    def test_open_missing_raises(self, system):
+        with pytest.raises(FsError):
+            system.fs.open("/pm/none")
+
+    def test_unlink(self, system):
+        system.fs.create("/pm/a", 64)
+        system.fs.unlink("/pm/a")
+        assert not system.fs.exists("/pm/a")
+        with pytest.raises(FsError):
+            system.fs.unlink("/pm/a")
+
+    def test_listdir(self, system):
+        system.fs.create("/pm/b", 64)
+        system.fs.create("/pm/a", 64)
+        assert system.fs.listdir() == ["/pm/a", "/pm/b"]
+
+    def test_syscall_costs_charged(self, system):
+        t0 = system.clock.now
+        system.fs.create("/pm/a", 64)
+        assert system.clock.now > t0
+        assert system.stats.syscalls == 1
+
+
+class TestWriteFsync:
+    def test_write_visible_not_durable(self, system):
+        f = system.fs.create("/pm/a", 1024)
+        system.fs.write(f, 0, np.full(100, 3, dtype=np.uint8))
+        assert (f.region.view(np.uint8, 0, 100) == 3).all()
+        assert f.region.unpersisted_bytes() == 100
+
+    def test_fsync_makes_durable(self, system):
+        f = system.fs.create("/pm/a", 1024)
+        system.fs.write(f, 0, np.full(100, 3, dtype=np.uint8))
+        t = system.fs.fsync(f)
+        assert t > system.config.syscall_s
+        assert f.region.unpersisted_bytes() == 0
+
+    def test_fsync_without_dirty_data_is_cheap(self, system):
+        f = system.fs.create("/pm/a", 1024)
+        assert system.fs.fsync(f) == pytest.approx(system.config.syscall_s)
+
+    def test_fsync_covers_whole_dirty_span(self, system):
+        f = system.fs.create("/pm/a", 1024)
+        system.fs.write(f, 0, [1] * 10)
+        system.fs.write(f, 500, [2] * 10)
+        system.fs.fsync(f)
+        assert f.region.unpersisted_bytes() == 0
+
+    def test_second_fsync_free_after_first(self, system):
+        f = system.fs.create("/pm/a", 1024)
+        system.fs.write(f, 0, [1] * 512)
+        t1 = system.fs.fsync(f)
+        t2 = system.fs.fsync(f)
+        assert t2 < t1
+
+
+class TestCrashSurvival:
+    def test_files_survive_crash(self, system):
+        f = system.fs.create("/pm/a", 1024)
+        system.fs.write(f, 0, np.full(64, 7, dtype=np.uint8))
+        system.fs.fsync(f)
+        system.crash()
+        f2 = system.fs.open("/pm/a")
+        assert (f2.region.view(np.uint8, 0, 64) == 7).all()
+
+    def test_unsynced_writes_lost_on_crash(self, system):
+        f = system.fs.create("/pm/a", 1024)
+        system.fs.write(f, 0, np.full(64, 7, dtype=np.uint8))
+        system.crash()
+        assert not f.region.view(np.uint8, 0, 64).any()

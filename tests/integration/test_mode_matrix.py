@@ -1,0 +1,83 @@
+"""The full workload x persistence-mode matrix, at reduced scale.
+
+Every GPMbench workload must *run and produce a durable, correct result*
+under every persistence system it supports; GPUfs must fail exactly where
+the paper says.  This is the breadth counterpart to the depth tests in
+tests/workloads/.
+"""
+
+import pytest
+
+from repro.host.gpufs import GpufsUnsupported
+from repro.workloads import (
+    BfsConfig,
+    BinomialConfig,
+    BinomialOptions,
+    BlackScholes,
+    CfdSolver,
+    DbConfig,
+    DnnTraining,
+    GpDb,
+    GpKvs,
+    GraphBfs,
+    Hotspot,
+    KvsConfig,
+    Mode,
+    PrefixSum,
+    PrefixSumConfig,
+    Srad,
+    SradConfig,
+)
+
+ALL_MODES = [Mode.GPM, Mode.GPM_NDP, Mode.GPM_EADR,
+             Mode.CAP_FS, Mode.CAP_MM, Mode.CAP_EADR, Mode.GPUFS]
+
+
+def small_workloads():
+    kvs = GpKvs(KvsConfig(n_sets=128, ways=8, batch_size=96, set_batches=1,
+                          block_dim=32))
+    db = GpDb("update", DbConfig(capacity_rows=1024, initial_rows=256,
+                                 update_batch=64, update_batches=1,
+                                 block_dim=32))
+    dnn = DnnTraining(batch_size=8, dataset_size=32)
+    dnn.iterations = 2
+    dnn.checkpoint_every = 1
+    cfd = CfdSolver(n=24, steps_per_iteration=1)
+    cfd.iterations = 2
+    cfd.checkpoint_every = 1
+    blk = BlackScholes(n_options=4096)
+    blk.iterations = 2
+    blk.checkpoint_every = 1
+    hs = Hotspot(n=32, steps_per_iteration=1)
+    hs.iterations = 2
+    hs.checkpoint_every = 1
+    bfs = GraphBfs(BfsConfig(rows=8, cols=16, shortcut_fraction=0.02))
+    srad = Srad(SradConfig(n=24, iterations=2))
+    ps = PrefixSum(PrefixSumConfig(n=512, block_dim=128, arrays=1))
+    bino = BinomialOptions(BinomialConfig(n_options=16, steps=16))
+    return [kvs, db, dnn, cfd, blk, hs, bfs, srad, ps, bino]
+
+
+#: (workload index, mode) pairs where GPUfs must refuse to run.
+GPUFS_FAILS = {"gpKVS", "gpDB (U)", "BLK", "HS", "BFS", "PS", "BINO"}
+
+
+@pytest.mark.parametrize("mode", ALL_MODES, ids=lambda m: m.value)
+def test_every_workload_under_every_mode(mode):
+    for workload in small_workloads():
+        name = workload.name
+        try:
+            result = workload.run(mode)
+        except GpufsUnsupported:
+            assert mode is Mode.GPUFS, f"{name} wrongly unsupported under {mode}"
+            assert name in GPUFS_FAILS, f"{name} should run on GPUfs"
+            continue
+        if mode is Mode.GPUFS:
+            assert name not in GPUFS_FAILS, f"{name} should fail on GPUfs"
+        assert result.elapsed > 0, f"{name}/{mode.value}: no time elapsed"
+        if hasattr(workload, "verify"):
+            assert workload.verify(), f"{name}/{mode.value}: verification failed"
+        # every non-GPM-internal mode still ends with durable output
+        assert result.bytes_persisted > 0 or mode is Mode.GPM_EADR, (
+            f"{name}/{mode.value}: nothing persisted"
+        )

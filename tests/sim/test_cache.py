@@ -1,0 +1,94 @@
+"""LLC/DDIO model: dirty tracking, flushes, eviction, eADR crash."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Machine, SystemConfig
+
+
+class TestInstallAndFlush:
+    def test_install_tracks_dirty_lines(self, machine):
+        r = machine.alloc_pm("x", 1024)
+        machine.llc.install_writes(r, [0], [100])
+        assert machine.llc.dirty_lines(r) == [0, 1]
+
+    def test_install_on_dram_is_ignored(self, machine):
+        r = machine.alloc_dram("x", 1024)
+        machine.llc.install_writes(r, [0], [100])
+        assert len(machine.llc) == 0
+
+    def test_flush_range_persists_and_clears(self, machine):
+        r = machine.alloc_pm("x", 1024)
+        r.write_bytes(0, [7] * 100)
+        machine.llc.install_writes(r, [0], [100])
+        t = machine.llc.flush_range(r, 0, 100)
+        assert t > 0
+        assert machine.llc.dirty_lines(r) == []
+        assert (r.persisted_view(np.uint8, 0, 100) == 7).all()
+
+    def test_flush_clean_range_is_free(self, machine):
+        r = machine.alloc_pm("x", 1024)
+        assert machine.llc.flush_range(r, 0, 1024) == 0.0
+
+    def test_flush_whole_line_even_for_partial_write(self, machine):
+        r = machine.alloc_pm("x", 1024)
+        r.write_bytes(0, [7] * 8)
+        r.write_bytes(32, [9] * 8)  # same line, newer data
+        machine.llc.install_writes(r, [0], [8])
+        machine.llc.flush_range(r, 0, 8)
+        # write-back persists the whole current line
+        assert (r.persisted_view(np.uint8, 32, 8) == 9).all()
+
+    def test_drop_range_clears_without_media(self, machine):
+        r = machine.alloc_pm("x", 1024)
+        machine.llc.install_writes(r, [0], [128])
+        machine.llc.drop_range(r, 0, 128)
+        assert len(machine.llc) == 0
+
+    def test_hit_counting(self, machine):
+        r = machine.alloc_pm("x", 1024)
+        machine.llc.install_writes(r, [0], [64])
+        machine.llc.install_writes(r, [0], [64])
+        assert machine.stats.llc_ddio_fills == 1
+        assert machine.stats.llc_ddio_hits == 1
+
+
+class TestEviction:
+    def test_capacity_eviction_persists_lru(self):
+        cfg = SystemConfig().with_overrides(llc_ddio_bytes=4 * 64)
+        machine = Machine(cfg)
+        r = machine.alloc_pm("x", 1024)
+        r.visible[:] = 5
+        for line in range(6):
+            machine.llc.install_writes(r, [line * 64], [64])
+        assert len(machine.llc) == 4
+        # first two lines were evicted and are now durable
+        assert (r.persisted_view(np.uint8, 0, 128) == 5).all()
+        assert machine.stats.llc_evictions == 2
+
+    def test_streaming_fast_path_persists_head(self):
+        cfg = SystemConfig().with_overrides(llc_ddio_bytes=1024)
+        machine = Machine(cfg)
+        r = machine.alloc_pm("x", 1 << 16)
+        r.visible[:] = 3
+        machine.llc.install_writes(r, [0], [1 << 16])
+        # head written through; only the tail (<= capacity) stays cached
+        assert len(machine.llc) <= 1024 // 64
+        assert (r.persisted_view(np.uint8, 0, (1 << 16) - 1024) == 3).all()
+
+
+class TestCrash:
+    def test_crash_without_eadr_loses_dirty_lines(self, machine):
+        r = machine.alloc_pm("x", 1024)
+        r.write_bytes(0, [9] * 64)
+        machine.llc.install_writes(r, [0], [64])
+        machine.crash()
+        assert not r.visible[:64].any()
+
+    def test_crash_with_eadr_drains_dirty_lines(self):
+        machine = Machine(eadr=True)
+        r = machine.alloc_pm("x", 1024)
+        r.write_bytes(0, [9] * 64)
+        machine.llc.install_writes(r, [0], [64])
+        machine.crash()
+        assert (r.visible[:64] == 9).all()

@@ -1,0 +1,94 @@
+"""Calibration suite: pin the substrate against the paper's measurements.
+
+These tests anchor the simulator's emergent behaviour to the numbers the
+paper reports, so workload-level experiments inherit a calibrated machine:
+
+* the three Optane access-pattern bandwidths (Section 6.1),
+* CPU persist scaling (Fig. 3a) including the 1.47x plateau,
+* GPU persist scaling (Fig. 3b) plateauing near 4x one CPU thread,
+* the DNN checkpoint/restore absolute latencies (Section 6.1 text).
+"""
+
+import pytest
+
+from repro.experiments.figure3 import cpu_persist_time, gpu_persist_throughput
+from repro.experiments.figure12 import pattern_microbenchmark
+from repro.sim import DEFAULT_CONFIG
+
+
+class TestOptanePatterns:
+    @pytest.fixture(scope="class")
+    def patterns(self):
+        table = pattern_microbenchmark()
+        return {row[0]: row[1] for row in table.rows}
+
+    def test_sequential_aligned_12_5(self, patterns):
+        assert patterns["sequential 256B-aligned"] == pytest.approx(12.5, rel=0.01)
+
+    def test_unaligned_3_13(self, patterns):
+        assert patterns["sequential unaligned (64B grain)"] == pytest.approx(3.13, rel=0.02)
+
+    def test_random_0_72(self, patterns):
+        assert patterns["random"] == pytest.approx(0.72, rel=0.02)
+
+
+class TestCpuScaling:
+    def test_plateau_1_47(self):
+        base = cpu_persist_time(1)
+        assert base / cpu_persist_time(64) == pytest.approx(1.46, abs=0.03)
+
+    def test_monotone_not_linear(self):
+        base = cpu_persist_time(1)
+        s2 = base / cpu_persist_time(2)
+        s16 = base / cpu_persist_time(16)
+        assert 1.0 < s2 < s16 < 1.5
+
+
+class TestGpuScaling:
+    def test_plateau_near_4x(self):
+        cpu1 = DEFAULT_CONFIG.cpu_persist_bw_single
+        assert gpu_persist_throughput(2048) / cpu1 == pytest.approx(3.94, abs=0.1)
+
+    def test_1024_matches_2048(self):
+        assert gpu_persist_throughput(1024) == pytest.approx(gpu_persist_throughput(2048))
+
+    def test_32_threads_below_one_cpu_thread(self):
+        cpu1 = DEFAULT_CONFIG.cpu_persist_bw_single
+        assert gpu_persist_throughput(32) < cpu1
+
+    def test_crossover_between_128_and_512(self):
+        cpu1 = DEFAULT_CONFIG.cpu_persist_bw_single
+        assert gpu_persist_throughput(128) < cpu1 < gpu_persist_throughput(512)
+
+    def test_monotone_in_threads(self):
+        vals = [gpu_persist_throughput(t) for t in (32, 64, 128, 256, 512, 1024)]
+        assert vals == sorted(vals)
+
+
+class TestCheckpointLatency:
+    """Section 6.1: 3.2 MB DNN checkpoint ~0.221 ms, restore ~0.342 ms."""
+
+    def test_checkpoint_within_2x_of_paper(self):
+        import numpy as np
+
+        from repro import System
+        from repro.core import gpmcp_create, gpmcp_register
+
+        system = System()
+        hbm = system.machine.alloc_hbm("w", 3_200_000)
+        cp = gpmcp_create(system, "/cp", 3_200_000, 1, 1)
+        gpmcp_register(cp, hbm, size=3_200_000, group=0)
+        t = cp.checkpoint(0)
+        assert 0.221e-3 / 2 < t < 0.221e-3 * 2
+
+    def test_restore_within_2x_of_paper(self):
+        from repro import System
+        from repro.core import gpmcp_create, gpmcp_register
+
+        system = System()
+        hbm = system.machine.alloc_hbm("w", 3_200_000)
+        cp = gpmcp_create(system, "/cp", 3_200_000, 1, 1)
+        gpmcp_register(cp, hbm, size=3_200_000, group=0)
+        cp.checkpoint(0)
+        t = cp.restore(0)
+        assert 0.342e-3 / 2 < t < 0.342e-3 * 2

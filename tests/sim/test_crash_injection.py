@@ -1,0 +1,75 @@
+"""Crash injector: arming, firing, randomisation."""
+
+import numpy as np
+import pytest
+
+from repro.sim import CrashInjector, Machine, SimulatedCrash
+
+
+class TestArming:
+    def test_not_armed_initially(self, machine):
+        inj = CrashInjector(machine)
+        assert not inj.armed
+        inj.advance(10**9)  # no-op when unarmed
+
+    def test_arm_and_query(self, machine):
+        inj = CrashInjector(machine)
+        inj.arm(5)
+        assert inj.armed
+        assert inj.crash_after == 5
+
+    def test_negative_point_rejected(self, machine):
+        with pytest.raises(ValueError):
+            CrashInjector(machine).arm(-1)
+
+    def test_arm_random_in_range(self, machine):
+        inj = CrashInjector(machine, np.random.default_rng(7))
+        for _ in range(20):
+            point = inj.arm_random(100)
+            assert 0 <= point < 100
+            inj.disarm()
+
+    def test_arm_random_requires_positive(self, machine):
+        with pytest.raises(ValueError):
+            CrashInjector(machine).arm_random(0)
+
+    def test_disarm(self, machine):
+        inj = CrashInjector(machine)
+        inj.arm(0)
+        inj.disarm()
+        assert not inj.armed
+        inj.advance(10)
+
+
+class TestFiring:
+    def test_fires_at_threshold_and_crashes_machine(self, machine):
+        pm = machine.alloc_pm("p", 64)
+        pm.write_bytes(0, [1] * 8)  # unpersisted
+        inj = CrashInjector(machine)
+        inj.arm(3)
+        inj.advance(2)  # below threshold
+        with pytest.raises(SimulatedCrash) as exc:
+            inj.advance(1)
+        assert exc.value.threads_retired == 3
+        assert inj.fired
+        assert machine.crash_count == 1
+        assert not pm.visible.any()
+
+    def test_fires_only_once(self, machine):
+        inj = CrashInjector(machine)
+        inj.arm(0)
+        with pytest.raises(SimulatedCrash):
+            inj.advance(0)
+        inj.advance(100)  # no second crash
+        assert machine.crash_count == 1
+
+    def test_rearm_after_fire(self, machine):
+        inj = CrashInjector(machine)
+        inj.arm(0)
+        with pytest.raises(SimulatedCrash):
+            inj.advance(0)
+        inj.arm(1)
+        assert inj.armed
+        with pytest.raises(SimulatedCrash):
+            inj.advance(5)
+        assert machine.crash_count == 2

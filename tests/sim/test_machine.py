@@ -1,0 +1,139 @@
+"""Machine composition: allocation, write routing, DDIO, crash."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Machine, MemKind
+
+
+class TestAllocation:
+    def test_alloc_and_lookup(self, machine):
+        r = machine.alloc_pm("a", 128)
+        assert machine.region("a") is r
+        assert machine.has_region("a")
+
+    def test_duplicate_name_rejected(self, machine):
+        machine.alloc_pm("a", 128)
+        with pytest.raises(ValueError):
+            machine.alloc_dram("a", 128)
+
+    def test_free(self, machine):
+        r = machine.alloc_hbm("a", 128)
+        machine.free(r)
+        assert not machine.has_region("a")
+
+    def test_free_unknown_raises(self, machine):
+        r = machine.alloc_hbm("a", 128)
+        machine.free(r)
+        with pytest.raises(KeyError):
+            machine.free(r)
+
+    def test_kinds(self, machine):
+        assert machine.alloc_pm("p", 8).kind is MemKind.PM
+        assert machine.alloc_dram("d", 8).kind is MemKind.DRAM
+        assert machine.alloc_hbm("h", 8).kind is MemKind.HBM
+
+
+class TestIoWriteRouting:
+    def test_ddio_on_parks_in_llc(self, machine):
+        r = machine.alloc_pm("p", 1024)
+        r.write_bytes(0, [1] * 64)
+        t = machine.io_write_arrival(r, [0], [64])
+        assert t == 0.0
+        assert machine.llc.dirty_lines(r) == [0]
+        assert r.unpersisted_bytes() == 64
+
+    def test_ddio_off_goes_to_media(self, machine):
+        machine.set_ddio(False)
+        r = machine.alloc_pm("p", 1024)
+        r.write_bytes(0, [1] * 64)
+        t = machine.io_write_arrival(r, [0], [64])
+        assert t > 0.0
+        assert r.unpersisted_bytes() == 0
+        assert machine.stats.pm_bytes_written_by_gpu == 64
+
+    def test_dram_target_is_untracked(self, machine):
+        r = machine.alloc_dram("d", 1024)
+        assert machine.io_write_arrival(r, [0], [64]) == 0.0
+        assert machine.stats.dram_bytes_written == 64
+
+    def test_hbm_target_rejected(self, machine):
+        r = machine.alloc_hbm("h", 1024)
+        with pytest.raises(ValueError):
+            machine.io_write_arrival(r, [0], [64])
+
+
+class TestCpuPaths:
+    def test_cpu_store_dirties_llc(self, machine):
+        r = machine.alloc_pm("p", 1024)
+        machine.cpu_store_arrival(r, 0, 64)
+        assert machine.llc.dirty_lines(r) == [0]
+
+    def test_cpu_flush_persists(self, machine):
+        r = machine.alloc_pm("p", 1024)
+        r.write_bytes(0, [4] * 64)
+        machine.cpu_store_arrival(r, 0, 64)
+        t = machine.cpu_flush(r, 0, 64)
+        assert t > 0
+        assert r.unpersisted_bytes() == 0
+
+    def test_nt_store_bypasses_cache(self, machine):
+        r = machine.alloc_pm("p", 1024)
+        r.write_bytes(0, [4] * 64)
+        t = machine.cpu_nt_store_arrival(r, [0], [64])
+        assert t > 0
+        assert len(machine.llc) == 0
+        assert r.unpersisted_bytes() == 0
+
+    def test_cpu_store_to_hbm_rejected(self, machine):
+        r = machine.alloc_hbm("h", 64)
+        with pytest.raises(ValueError):
+            machine.cpu_store_arrival(r, 0, 8)
+
+
+class TestDdioToggle:
+    def test_default_on(self, machine):
+        assert machine.ddio_enabled
+
+    def test_toggle(self, machine):
+        machine.set_ddio(False)
+        assert not machine.ddio_enabled
+        machine.set_ddio(True)
+        assert machine.ddio_enabled
+
+
+class TestCrash:
+    def test_crash_resets_all_regions(self, machine):
+        pm = machine.alloc_pm("p", 64)
+        hbm = machine.alloc_hbm("h", 64)
+        pm.write_bytes(0, [1] * 8)
+        hbm.write_bytes(0, [1] * 8)
+        machine.crash()
+        assert not pm.visible.any()
+        assert hbm.lost
+        assert machine.crash_count == 1
+
+    def test_crash_reenables_ddio(self, machine):
+        machine.set_ddio(False)
+        machine.crash()
+        assert machine.ddio_enabled
+
+    def test_drop_volatile_regions(self, machine):
+        machine.alloc_pm("p", 64)
+        machine.alloc_hbm("h", 64)
+        machine.crash()
+        machine.drop_volatile_regions()
+        assert machine.has_region("p")
+        assert not machine.has_region("h")
+
+    def test_background_persist_requires_eadr(self, machine):
+        r = machine.alloc_pm("p", 64)
+        with pytest.raises(RuntimeError):
+            machine.background_persist(r, 0, 8)
+
+    def test_background_persist_on_eadr(self):
+        machine = Machine(eadr=True)
+        r = machine.alloc_pm("p", 64)
+        r.write_bytes(0, [2] * 8)
+        machine.background_persist(r, 0, 8)
+        assert r.unpersisted_bytes() == 0

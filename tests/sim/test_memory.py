@@ -1,0 +1,117 @@
+"""Region semantics: images, views, persistence boundary, crash."""
+
+import numpy as np
+import pytest
+
+from repro.sim.memory import CRASH_POISON, MemKind, Region
+
+
+class TestConstruction:
+    def test_pm_region_has_persisted_image(self):
+        r = Region("a", 128, MemKind.PM)
+        assert r.persisted is not None
+        assert r.is_persistent
+
+    @pytest.mark.parametrize("kind", [MemKind.DRAM, MemKind.HBM])
+    def test_volatile_region_has_no_persisted_image(self, kind):
+        r = Region("a", 128, kind)
+        assert r.persisted is None
+        assert not r.is_persistent
+
+    @pytest.mark.parametrize("size", [0, -1])
+    def test_rejects_non_positive_size(self, size):
+        with pytest.raises(ValueError):
+            Region("a", size, MemKind.PM)
+
+    def test_host_property(self):
+        assert Region("a", 8, MemKind.PM).is_host
+        assert Region("a", 8, MemKind.DRAM).is_host
+        assert not Region("a", 8, MemKind.HBM).is_host
+
+    def test_starts_zeroed(self):
+        r = Region("a", 64, MemKind.PM)
+        assert not r.visible.any()
+        assert not r.persisted.any()
+
+
+class TestAccess:
+    def test_typed_view_roundtrip(self):
+        r = Region("a", 64, MemKind.PM)
+        v = r.view(np.uint32, 8, 4)
+        v[:] = [1, 2, 3, 4]
+        assert list(r.view(np.uint32, 8, 4)) == [1, 2, 3, 4]
+
+    def test_write_read_bytes(self):
+        r = Region("a", 16, MemKind.DRAM)
+        r.write_bytes(4, [9, 8, 7])
+        assert list(r.read_bytes(4, 3)) == [9, 8, 7]
+
+    def test_out_of_range_read_raises(self):
+        r = Region("a", 16, MemKind.PM)
+        with pytest.raises(IndexError):
+            r.read_bytes(10, 10)
+
+    def test_out_of_range_view_raises(self):
+        r = Region("a", 16, MemKind.PM)
+        with pytest.raises(IndexError):
+            r.view(np.uint64, 8, 2)
+
+    def test_negative_offset_raises(self):
+        r = Region("a", 16, MemKind.PM)
+        with pytest.raises(IndexError):
+            r.read_bytes(-1, 2)
+
+    def test_persisted_view_on_volatile_raises(self):
+        r = Region("a", 16, MemKind.HBM)
+        with pytest.raises(TypeError):
+            r.persisted_view(np.uint8)
+
+
+class TestPersistence:
+    def test_writes_are_not_persistent_until_persisted(self):
+        r = Region("a", 64, MemKind.PM)
+        r.write_bytes(0, [1, 2, 3])
+        assert r.unpersisted_bytes() == 3
+        assert not r.persisted_view(np.uint8, 0, 3).any()
+
+    def test_persist_range_copies_visible(self):
+        r = Region("a", 64, MemKind.PM)
+        r.write_bytes(0, [1, 2, 3, 4])
+        r.persist_range(0, 2)
+        assert list(r.persisted_view(np.uint8, 0, 4)) == [1, 2, 0, 0]
+
+    def test_persist_ranges_vectorised(self):
+        r = Region("a", 64, MemKind.PM)
+        r.visible[:] = 7
+        r.persist_ranges(np.array([0, 32]), np.array([4, 4]))
+        assert r.persisted[:4].sum() == 28
+        assert r.persisted[32:36].sum() == 28
+        assert r.persisted[4:32].sum() == 0
+
+    def test_persist_on_volatile_raises(self):
+        r = Region("a", 16, MemKind.DRAM)
+        with pytest.raises(TypeError):
+            r.persist_range(0, 4)
+
+
+class TestCrash:
+    def test_pm_crash_reverts_to_persisted(self):
+        r = Region("a", 16, MemKind.PM)
+        r.write_bytes(0, [5] * 8)
+        r.persist_range(0, 4)
+        r.crash()
+        assert list(r.visible[:8]) == [5, 5, 5, 5, 0, 0, 0, 0]
+        assert not r.lost
+
+    def test_volatile_crash_poisons(self):
+        r = Region("a", 16, MemKind.HBM)
+        r.write_bytes(0, [5] * 16)
+        r.crash()
+        assert (r.visible == CRASH_POISON).all()
+        assert r.lost
+
+    def test_unpersisted_bytes_zero_after_crash(self):
+        r = Region("a", 16, MemKind.PM)
+        r.write_bytes(0, [1] * 16)
+        r.crash()
+        assert r.unpersisted_bytes() == 0

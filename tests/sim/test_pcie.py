@@ -1,0 +1,87 @@
+"""PCIe link model: DMA, transaction counting, bounded concurrency."""
+
+import pytest
+
+from repro.sim import DEFAULT_CONFIG, Machine
+
+
+class TestDma:
+    def test_dma_time_includes_init(self, machine):
+        t = machine.pcie.dma_time(0)
+        assert t == pytest.approx(DEFAULT_CONFIG.dma_init_s)
+
+    def test_dma_bandwidth_bound(self, machine):
+        nbytes = 130 << 20
+        t = machine.pcie.dma_time(nbytes)
+        assert t == pytest.approx(DEFAULT_CONFIG.dma_init_s + nbytes / DEFAULT_CONFIG.pcie_bw)
+
+    def test_direction_stats(self, machine):
+        machine.pcie.dma_time(100, to_gpu=False)
+        machine.pcie.dma_time(200, to_gpu=True)
+        assert machine.stats.pcie_bytes_to_host == 100
+        assert machine.stats.pcie_bytes_to_gpu == 200
+
+    def test_negative_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.pcie.dma_time(-1)
+
+
+class TestTransactionsFor:
+    def test_single_aligned_segment(self, machine):
+        assert machine.pcie.transactions_for([0], [128]) == 1
+
+    def test_straddling_segment(self, machine):
+        assert machine.pcie.transactions_for([64], [128]) == 2
+
+    def test_multiple_segments(self, machine):
+        assert machine.pcie.transactions_for([0, 256], [128, 128]) == 2
+
+    def test_small_writes_each_count(self, machine):
+        assert machine.pcie.transactions_for([0, 1024], [4, 4]) == 2
+
+    def test_empty(self, machine):
+        assert machine.pcie.transactions_for([], []) == 0
+        assert machine.pcie.transactions_for([0], [0]) == 0
+
+
+class TestFineGrainedWrites:
+    def test_zero_tx_free(self, machine):
+        assert machine.pcie.fine_grained_write_time(0, 0, 1) == 0.0
+
+    def test_latency_bound_single_warp(self, machine):
+        cfg = DEFAULT_CONFIG
+        t = machine.pcie.fine_grained_write_time(100, 100 * 128, 1)
+        conc = cfg.pcie_outstanding_per_warp
+        assert t == pytest.approx(100 * cfg.pcie_rtt_s / conc)
+
+    def test_concurrency_capped(self, machine):
+        cfg = DEFAULT_CONFIG
+        t_many = machine.pcie.fine_grained_write_time(1000, 1000 * 128, 1000)
+        floor = 1000 * cfg.pcie_rtt_s / cfg.pcie_max_outstanding
+        assert t_many == pytest.approx(max(floor, 1000 * 128 / cfg.pcie_bw))
+
+    def test_more_warps_is_faster_until_cap(self, machine):
+        t1 = machine.pcie.fine_grained_write_time(512, 512 * 128, 1)
+        t4 = machine.pcie.fine_grained_write_time(512, 512 * 128, 4)
+        t100 = machine.pcie.fine_grained_write_time(512, 512 * 128, 100)
+        t200 = machine.pcie.fine_grained_write_time(512, 512 * 128, 200)
+        assert t1 > t4 > t100
+        assert t100 == pytest.approx(t200)  # both beyond pcie_max_outstanding
+
+
+class TestStreaming:
+    def test_stream_write_is_bandwidth_bound(self, machine):
+        nbytes = 13 << 20
+        t = machine.pcie.stream_write_time(nbytes)
+        assert t == pytest.approx(nbytes / DEFAULT_CONFIG.pcie_bw)
+
+    def test_stream_faster_than_fine_grained(self, machine):
+        nbytes = 1 << 20
+        n_tx = nbytes // 128
+        stream = machine.pcie.stream_write_time(nbytes)
+        fine = machine.pcie.fine_grained_write_time(n_tx, nbytes, 16)
+        assert stream < fine
+
+    def test_stream_read(self, machine):
+        assert machine.pcie.stream_read_time(0) == 0.0
+        assert machine.pcie.stream_read_time(13_000_000) == pytest.approx(1e-3)

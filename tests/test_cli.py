@@ -1,0 +1,38 @@
+"""The python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure9" in out
+        assert "gpKVS" in out
+        assert "cxl_projection" in out
+
+    def test_run_single_artefact(self, capsys, tmp_path):
+        assert main(["run", "figure12_patterns", "--reports", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "12.5" in out
+        assert (tmp_path / "out_figure12_patterns.txt").exists()
+
+    def test_run_unknown_artefact(self):
+        with pytest.raises(SystemExit):
+            main(["run", "figure99"])
+
+    def test_workload(self, capsys):
+        assert main(["workload", "PS", "--mode", "gpm"]) == 0
+        out = capsys.readouterr().out
+        assert "PS under gpm" in out
+        assert "simulated time" in out
+
+    def test_workload_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "nope"])
+
+    def test_workload_bad_mode(self):
+        with pytest.raises(ValueError):
+            main(["workload", "PS", "--mode", "warp-drive"])

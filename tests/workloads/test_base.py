@@ -1,0 +1,92 @@
+"""Mode machinery: ModeDriver and PersistentBuffer realisations."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import Mode, ModeDriver, make_system
+
+
+class TestMode:
+    def test_data_on_pm(self):
+        assert Mode.GPM.data_on_pm
+        assert Mode.GPM_NDP.data_on_pm
+        assert not Mode.CAP_MM.data_on_pm
+        assert not Mode.GPUFS.data_on_pm
+
+    def test_in_kernel_persist(self):
+        assert Mode.GPM.in_kernel_persist
+        assert Mode.GPM_EADR.in_kernel_persist
+        assert not Mode.GPM_NDP.in_kernel_persist
+        assert not Mode.CAP_FS.in_kernel_persist
+
+    def test_make_system_eadr(self):
+        assert make_system(Mode.GPM_EADR).eadr
+        assert make_system(Mode.CAP_EADR).eadr
+        assert not make_system(Mode.GPM).eadr
+
+    def test_driver_rejects_mode_platform_mismatch(self, system):
+        with pytest.raises(ValueError):
+            ModeDriver(system, Mode.GPM_EADR)
+
+
+class TestPersistentBufferGpm:
+    def test_kernel_region_is_pm(self):
+        driver = ModeDriver(make_system(Mode.GPM), Mode.GPM)
+        buf = driver.buffer("/pm/x", 4096)
+        assert buf.kernel_region.is_persistent
+        assert buf.gpm is not None
+
+    def test_persist_calls_are_noop(self):
+        driver = ModeDriver(make_system(Mode.GPM), Mode.GPM)
+        buf = driver.buffer("/pm/x", 4096)
+        assert buf.persist_all() == 0.0
+        assert buf.persist_segments([0], [64]) == 0.0
+
+
+class TestPersistentBufferNdp:
+    def test_cpu_flushes_segments(self):
+        driver = ModeDriver(make_system(Mode.GPM_NDP), Mode.GPM_NDP)
+        buf = driver.buffer("/pm/x", 4096)
+        buf.visible_view(np.uint8)[:] = 7
+        t = buf.persist_segments([0, 256], [64, 64])
+        assert t > 0
+        assert buf.durable_view(np.uint8, 0, 64).all()
+        assert not buf.durable_view(np.uint8, 128, 64).any()
+
+
+class TestPersistentBufferCap:
+    @pytest.mark.parametrize("mode", [Mode.CAP_FS, Mode.CAP_MM])
+    def test_kernel_region_is_hbm_and_whole_buffer_persisted(self, mode):
+        driver = ModeDriver(make_system(mode), mode)
+        buf = driver.buffer("/pm/x", 4096)
+        assert not buf.kernel_region.is_persistent
+        buf.visible_view(np.uint8)[:] = 9
+        # CAP cannot selectively persist: segments fall back to everything
+        buf.persist_segments([0], [1])
+        assert (buf.durable_view(np.uint8) == 9).all()
+
+    def test_persist_range_restricts_transfer(self):
+        driver = ModeDriver(make_system(Mode.CAP_MM), Mode.CAP_MM)
+        buf = driver.buffer("/pm/x", 4096)
+        buf.visible_view(np.uint8)[:] = 9
+        before = driver.system.stats.snapshot()
+        buf.persist_range(0, 1024)
+        delta = driver.system.stats.delta_since(before)
+        assert delta.pm_bytes_written == 1024
+
+
+class TestPersistentBufferGpufs:
+    def test_fine_grained_buffer_unsupported(self):
+        from repro.host import GpufsUnsupported
+
+        driver = ModeDriver(make_system(Mode.GPUFS), Mode.GPUFS)
+        buf = driver.buffer("/pm/x", 4096, fine_grained=True)
+        with pytest.raises(GpufsUnsupported):
+            buf.persist_all()
+
+    def test_coarse_buffer_supported(self):
+        driver = ModeDriver(make_system(Mode.GPUFS), Mode.GPUFS)
+        buf = driver.buffer("/pm/x", 4096, fine_grained=False, paper_bytes=4096)
+        buf.visible_view(np.uint8)[:] = 3
+        buf.persist_all()
+        assert (buf.durable_view(np.uint8) == 3).all()

@@ -1,0 +1,56 @@
+"""Binomial options: pricing correctness and the Section 4.3 claim."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import BinomialConfig, BinomialOptions, Mode, binomial_price
+from repro.workloads.blackscholes import black_scholes
+
+
+class TestCrrModel:
+    def test_converges_to_black_scholes(self):
+        spot, strike, t, rate, vol = 20.0, 22.0, 1.5, 0.02, 0.3
+        bs_call, _ = black_scholes(np.array([spot]), np.array([strike]),
+                                   np.array([t]), rate, vol)
+        crr = binomial_price(spot, strike, t, rate, vol, steps=512)
+        assert crr == pytest.approx(float(bs_call[0]), rel=0.005)
+
+    def test_more_steps_converge(self):
+        args = (25.0, 20.0, 2.0, 0.02, 0.4)
+        bs_call, _ = black_scholes(np.array([25.0]), np.array([20.0]),
+                                   np.array([2.0]), 0.02, 0.4)
+        err64 = abs(binomial_price(*args, steps=64) - float(bs_call[0]))
+        err512 = abs(binomial_price(*args, steps=512) - float(bs_call[0]))
+        assert err512 < err64
+
+    def test_put_value(self):
+        put = binomial_price(15.0, 20.0, 1.0, 0.02, 0.3, steps=128, call=False)
+        bs_call, bs_put = black_scholes(np.array([15.0]), np.array([20.0]),
+                                        np.array([1.0]), 0.02, 0.3)
+        assert put == pytest.approx(float(bs_put[0]), rel=0.01)
+
+    def test_deep_itm_call_near_intrinsic(self):
+        price = binomial_price(100.0, 10.0, 0.5, 0.02, 0.2, steps=64)
+        assert price == pytest.approx(100.0 - 10.0 * np.exp(-0.01), rel=0.01)
+
+
+class TestWorkload:
+    def test_runs_and_verifies_under_gpm(self):
+        w = BinomialOptions(BinomialConfig(n_options=32, steps=32))
+        r = w.run(Mode.GPM)
+        assert w.verify()
+        assert r.extras["options"] == 32
+
+    def test_results_durable_under_gpm(self):
+        w = BinomialOptions(BinomialConfig(n_options=32, steps=32))
+        w.run(Mode.GPM)
+        system, driver, buf, params = w._state
+        system.crash()
+        out = buf.visible_view(np.float32, 128, 32)
+        assert np.count_nonzero(out) > 0  # persisted prices survive
+
+    def test_counter_example_gpm_gains_little(self):
+        """Section 4.3: GPM's advantage collapses without persist parallelism."""
+        gpm = BinomialOptions().run(Mode.GPM).elapsed
+        cap = BinomialOptions().run(Mode.CAP_MM).elapsed
+        assert cap / gpm < 3  # vs gpKVS's ~4.3x over CAP-mm

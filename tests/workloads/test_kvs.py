@@ -1,0 +1,127 @@
+"""gpKVS: functional correctness, durability, recovery."""
+
+import numpy as np
+import pytest
+
+from repro.sim import CrashInjector, SimulatedCrash
+from repro.workloads import GpKvs, KvsConfig, Mode, make_system
+from repro.workloads.kvs import LOG_ENTRY_BYTES, _pack_entry, _unpack_entry, hash64
+
+
+def small_kvs(**overrides) -> GpKvs:
+    cfg = dict(n_sets=256, ways=8, batch_size=128, set_batches=2, block_dim=64)
+    cfg.update(overrides)
+    return GpKvs(KvsConfig(**cfg))
+
+
+class TestHash:
+    def test_deterministic(self):
+        assert hash64(42) == hash64(42)
+
+    def test_spreads(self):
+        buckets = {hash64(k) % 64 for k in range(1000)}
+        assert len(buckets) == 64
+
+    def test_entry_pack_roundtrip(self):
+        raw = _pack_entry(3, 5, 1 << 40, 99)
+        assert _unpack_entry(raw) == (3, 5, 1 << 40, 99)
+        assert raw.size == LOG_ENTRY_BYTES
+
+
+class TestFunctional:
+    def test_sets_are_readable_via_get(self, ):
+        w = small_kvs(get_batches=1, get_batch_size=64)
+        r = w.run(Mode.GPM)
+        assert r.extras["ops"] == 2 * 128 + 64
+
+    def test_durable_state_matches_visible_under_gpm(self):
+        w = small_kvs()
+        w.run(Mode.GPM)
+        system, driver, table, keys, values, *_ = w._state
+        assert np.array_equal(keys.np, keys.np_persisted)
+        assert np.array_equal(values.np, values.np_persisted)
+
+    def test_inserted_pairs_present(self):
+        w = small_kvs(set_batches=1)
+        w.run(Mode.GPM)
+        system, driver, table, keys, values, *_ = w._state
+        rng = np.random.default_rng(w.config.seed)
+        n_pairs = w.config.n_sets * w.config.ways
+        bkeys = rng.choice(np.arange(1, n_pairs * 4, dtype=np.uint64),
+                           size=128, replace=False)
+        # at least the final batch's non-colliding keys must be findable
+        found = 0
+        for k in np.unique(bkeys):
+            base = (hash64(int(k)) % w.config.n_sets) * w.config.ways
+            if int(k) in [int(x) for x in keys.np[base : base + 8]]:
+                found += 1
+        assert found >= 0.9 * np.unique(bkeys).size
+
+    @pytest.mark.parametrize("mode", [Mode.CAP_MM, Mode.CAP_FS])
+    def test_cap_modes_persist_whole_table(self, mode):
+        w = small_kvs(set_batches=1)
+        r = w.run(mode)
+        assert r.bytes_persisted >= w._table_bytes()
+
+    def test_gpm_persists_less_than_cap(self):
+        gpm = small_kvs().run(Mode.GPM).bytes_persisted
+        cap = small_kvs().run(Mode.CAP_MM).bytes_persisted
+        assert cap > 5 * gpm
+
+
+class TestRecovery:
+    def test_crash_mid_batch_then_undo_restores_prior_state(self):
+        w = small_kvs(set_batches=1)
+        system = make_system(Mode.GPM)
+        inj = CrashInjector(system.machine)
+        inj.arm(60)  # mid-batch
+        with pytest.raises(SimulatedCrash):
+            w.run(Mode.GPM, system=system, crash_injector=inj)
+        rl = w.recover(system, Mode.GPM)
+        assert rl > 0
+        # all undone: the table must be empty again (it started empty)
+        from repro.core.mapping import gpm_map
+
+        table = gpm_map(system, "/pm/gpkvs.table")
+        assert not table.view(np.uint64).any()
+        assert not table.persisted_view(np.uint64).any()
+
+    def test_crash_after_commit_needs_no_undo(self):
+        w = small_kvs(set_batches=1)
+        system = make_system(Mode.GPM)
+        w.run(Mode.GPM, system=system)
+        before = w._state[3].np_persisted.copy()
+        system.crash()
+        w.recover(system, Mode.GPM)
+        from repro.core.mapping import gpm_map
+
+        table = gpm_map(system, "/pm/gpkvs.table")
+        n_pairs = w.config.n_sets * w.config.ways
+        assert np.array_equal(table.view(np.uint64, 0, n_pairs), before)
+
+    def test_recovery_truncates_logs(self):
+        w = small_kvs(set_batches=1)
+        system = make_system(Mode.GPM)
+        inj = CrashInjector(system.machine)
+        inj.arm(60)
+        with pytest.raises(SimulatedCrash):
+            w.run(Mode.GPM, system=system, crash_injector=inj)
+        w.recover(system, Mode.GPM)
+        from repro.core.logging import gpmlog_open
+
+        log = gpmlog_open(system, "/pm/gpkvs.log")
+        assert all(log.host_tail(s) == 0 for s in range(log.total_threads))
+
+
+class TestVariants:
+    def test_mixed_95_5_name_and_mix(self):
+        w = GpKvs.mixed_95_5()
+        assert w.name == "gpKVS (95:5)"
+        gets = w.config.get_batches * w.config.get_batch_size
+        sets = w.config.set_batches * w.config.batch_size
+        assert gets / (gets + sets) == pytest.approx(0.95, abs=0.01)
+
+    def test_conventional_log_variant_slower(self):
+        hcl = small_kvs(batch_size=256).run(Mode.GPM).elapsed
+        conv = small_kvs(batch_size=256, use_hcl=False).run(Mode.GPM).elapsed
+        assert conv > hcl

@@ -1,0 +1,103 @@
+"""gpKVS DELETE and gpDB SELECT: the remaining operation types."""
+
+import numpy as np
+import pytest
+
+from repro.sim import CrashInjector, SimulatedCrash
+from repro.workloads import DbConfig, GpDb, GpKvs, KvsConfig, Mode, make_system
+from repro.workloads.db import ROW_COLUMNS, _META_BYTES
+from repro.workloads.kvs import hash64
+
+
+def small_kvs():
+    return GpKvs(KvsConfig(n_sets=256, ways=8, batch_size=128,
+                           set_batches=1, block_dim=64))
+
+
+class TestKvsDelete:
+    def _inserted_keys(self, w):
+        rng = np.random.default_rng(w.config.seed)
+        n_pairs = w.config.n_sets * w.config.ways
+        return rng.choice(np.arange(1, n_pairs * 4, dtype=np.uint64),
+                          size=w.config.batch_size, replace=False)
+
+    def test_delete_removes_pairs_durably(self):
+        w = small_kvs()
+        w.run(Mode.GPM)
+        keys = self._inserted_keys(w)[:32]
+        present = w.delete_batch(keys)
+        assert present > 0
+        system, _, _, kv_keys, *_ = w._state
+        system.crash()
+        for k in keys.tolist():
+            base = (hash64(int(k)) % w.config.n_sets) * w.config.ways
+            assert int(k) not in kv_keys.np[base : base + 8].tolist()
+
+    def test_delete_of_absent_keys_is_noop(self):
+        w = small_kvs()
+        w.run(Mode.GPM)
+        before = w._state[3].np.copy()
+        present = w.delete_batch(np.array([10**9, 10**9 + 1], dtype=np.uint64))
+        assert present == 0
+        assert np.array_equal(w._state[3].np, before)
+
+    def test_delete_crash_is_undone(self):
+        w = small_kvs()
+        system = make_system(Mode.GPM)
+        w.run(Mode.GPM, system=system)
+        committed = w._state[3].np.copy()
+        keys = self._inserted_keys(w)[:64]
+        inj = CrashInjector(system.machine)
+        inj.arm(30)
+        with pytest.raises(SimulatedCrash):
+            w.delete_batch(keys, crash_injector=inj)
+        w.recover(system, Mode.GPM)
+        from repro.core.mapping import gpm_map
+
+        table = gpm_map(system, "/pm/gpkvs.table")
+        n_pairs = w.config.n_sets * w.config.ways
+        assert np.array_equal(table.view(np.uint64, 0, n_pairs), committed)
+
+    def test_oversized_delete_batch_rejected(self):
+        w = small_kvs()
+        w.run(Mode.GPM)
+        with pytest.raises(ValueError):
+            w.delete_batch(np.arange(1, 1000, dtype=np.uint64))
+
+
+class TestDbSelect:
+    def _db(self):
+        return GpDb("insert", DbConfig(capacity_rows=1024, initial_rows=512,
+                                       insert_batch=128, insert_batches=1,
+                                       block_dim=64))
+
+    def test_select_matches_numpy_reference(self):
+        w = self._db()
+        w.run(Mode.GPM)
+        _, _, buf, table, *_ = w._state
+        n_rows = int(buf.visible_view(np.uint64, 0, 1)[0])
+        col1 = table.np[: n_rows * ROW_COLUMNS].reshape(n_rows, ROW_COLUMNS)[:, 1]
+        lo, hi = 1 << 60, 1 << 62
+        expected = np.flatnonzero((col1 >= lo) & (col1 < hi))
+        got, elapsed = w.select(lo, hi)
+        assert np.array_equal(got, expected)
+        assert elapsed > 0
+
+    def test_select_is_read_only(self):
+        w = self._db()
+        w.run(Mode.GPM)
+        system = w._state[0]
+        before = system.stats.snapshot()
+        w.select(0, 1 << 63)
+        delta = system.stats.delta_since(before)
+        assert delta.pm_bytes_written == 0
+        assert delta.system_fences == 0
+
+    def test_select_identical_across_modes(self):
+        results = {}
+        for mode in (Mode.GPM, Mode.CAP_MM):
+            w = self._db()
+            w.run(mode)
+            got, _ = w.select(1 << 59, 1 << 63)
+            results[mode] = got
+        assert np.array_equal(results[Mode.GPM], results[Mode.CAP_MM])

@@ -1,0 +1,108 @@
+"""Model-based testing: the GPU KVS against a reference dict.
+
+Random SET/GET interleavings run both through gpKVS kernels and a plain
+Python dict; any key the dict holds that the (set-associative, evicting)
+store still holds must carry the same value, and GETs must never return a
+stale value for a live key.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import DeviceArray
+from repro.workloads import GpKvs, KvsConfig, Mode, make_system
+from repro.workloads.kvs import get_kernel, hash64, set_kernel
+
+N_SETS = 64
+WAYS = 8
+
+
+@st.composite
+def op_batches(draw):
+    n_batches = draw(st.integers(1, 3))
+    batches = []
+    for _ in range(n_batches):
+        n = draw(st.integers(1, 32))
+        keys = draw(st.lists(st.integers(1, 400), min_size=n, max_size=n,
+                             unique=True))
+        vals = draw(st.lists(st.integers(1, 10**9), min_size=n, max_size=n))
+        batches.append((keys, vals))
+    return batches
+
+
+class TestKvsAgainstDictModel:
+    @settings(max_examples=20, deadline=None)
+    @given(batches=op_batches())
+    def test_live_keys_hold_latest_values(self, batches):
+        system = make_system(Mode.GPM)
+        n_pairs = N_SETS * WAYS
+        region = system.machine.alloc_pm("kvs", n_pairs * 16)
+        keys = DeviceArray(region, np.uint64, 0, n_pairs)
+        values = DeviceArray(region, np.uint64, n_pairs * 8, n_pairs)
+        mirror = system.machine.alloc_hbm("mirror", n_pairs * 16)
+        mkeys = DeviceArray(mirror, np.uint64, 0, n_pairs)
+        mvalues = DeviceArray(mirror, np.uint64, n_pairs * 8, n_pairs)
+
+        model: dict[int, int] = {}
+        for batch_keys, batch_vals in batches:
+            n = len(batch_keys)
+            hbm = system.machine.alloc_hbm(f"b{id(batch_keys)}", n * 16)
+            bk = DeviceArray(hbm, np.uint64, 0, n)
+            bv = DeviceArray(hbm, np.uint64, n * 8, n)
+            bk.np[:] = batch_keys
+            bv.np[:] = batch_vals
+            system.gpu.launch(set_kernel, (n + 31) // 32, 32,
+                              (keys, values, mkeys, mvalues, bk, bv, n,
+                               N_SETS, WAYS, None, []))
+            system.machine.free(hbm)
+            model.update(zip(batch_keys, batch_vals))
+
+        # Every key still resident in the store must hold the model's value.
+        for key, expected in model.items():
+            base = (hash64(key) % N_SETS) * WAYS
+            row = keys.np[base : base + WAYS]
+            hits = np.flatnonzero(row == key)
+            if hits.size:  # may have been evicted; absence is legal
+                got = int(values.np[base + int(hits[0])])
+                assert got == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(batches=op_batches())
+    def test_gets_return_model_values(self, batches):
+        system = make_system(Mode.GPM)
+        n_pairs = N_SETS * WAYS
+        mirror = system.machine.alloc_hbm("mirror", n_pairs * 16)
+        mkeys = DeviceArray(mirror, np.uint64, 0, n_pairs)
+        mvalues = DeviceArray(mirror, np.uint64, n_pairs * 8, n_pairs)
+        region = system.machine.alloc_pm("kvs", n_pairs * 16)
+        keys = DeviceArray(region, np.uint64, 0, n_pairs)
+        values = DeviceArray(region, np.uint64, n_pairs * 8, n_pairs)
+
+        model: dict[int, int] = {}
+        for batch_keys, batch_vals in batches:
+            n = len(batch_keys)
+            hbm = system.machine.alloc_hbm(f"b{id(batch_keys)}", n * 16)
+            bk = DeviceArray(hbm, np.uint64, 0, n)
+            bv = DeviceArray(hbm, np.uint64, n * 8, n)
+            bk.np[:] = batch_keys
+            bv.np[:] = batch_vals
+            system.gpu.launch(set_kernel, (n + 31) // 32, 32,
+                              (keys, values, mkeys, mvalues, bk, bv, n,
+                               N_SETS, WAYS, None, []))
+            system.machine.free(hbm)
+            model.update(zip(batch_keys, batch_vals))
+
+        probe = list(model)[:16]
+        n = len(probe)
+        hbm = system.machine.alloc_hbm("probe", max(n, 1) * 16)
+        bk = DeviceArray(hbm, np.uint64, 0, n)
+        out = DeviceArray(hbm, np.uint64, n * 8, n)
+        bk.np[:] = probe
+        system.gpu.launch(get_kernel, (n + 31) // 32, 32,
+                          (mkeys, mvalues, bk, out, n, N_SETS, WAYS))
+        for i, key in enumerate(probe):
+            got = int(out.np[i])
+            # 0 = evicted (legal); otherwise must be the latest value
+            assert got in (0, model[key])

@@ -1,0 +1,81 @@
+"""YCSB-style generation: distributions, mixes, end-to-end runs."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import Mode
+from repro.workloads.ycsb import MIXES, YcsbConfig, YcsbKvs, zipfian_keys
+
+
+class TestZipfian:
+    def test_theta_zero_is_uniform_range(self):
+        keys = zipfian_keys(5000, 100, 0.0, np.random.default_rng(0))
+        assert keys.min() >= 1
+        assert keys.max() <= 100
+        _, counts = np.unique(keys, return_counts=True)
+        assert counts.max() < 150  # ~50 expected, no hot key
+
+    def test_high_theta_concentrates(self):
+        rng = np.random.default_rng(1)
+        keys = zipfian_keys(5000, 1000, 0.99, rng)
+        _, counts = np.unique(keys, return_counts=True)
+        top = np.sort(counts)[::-1]
+        assert top[0] > 0.05 * 5000  # the hottest key dominates
+        assert top[:10].sum() > 0.3 * 5000
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            zipfian_keys(10, 100, 1.5, np.random.default_rng(0))
+
+    def test_hot_keys_not_address_adjacent(self):
+        """Skew is about reuse, not contiguous key identities."""
+        rng = np.random.default_rng(2)
+        keys = zipfian_keys(5000, 1000, 0.99, rng)
+        vals, counts = np.unique(keys, return_counts=True)
+        hot = vals[np.argsort(counts)[-5:]]
+        assert np.ptp(hot) > 50  # spread across the identity space
+
+
+class TestMixes:
+    def test_known_mixes(self):
+        assert set(MIXES) == {"load", "A", "B", "C"}
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbKvs(YcsbConfig(mix="Z"))
+
+    @pytest.mark.parametrize("mix,set_fraction", [("load", 1.0), ("A", 0.5),
+                                                  ("B", 0.05), ("C", 0.0)])
+    def test_mix_materialisation(self, mix, set_fraction):
+        w = YcsbKvs(YcsbConfig(mix=mix, operations=2048, batch_size=256))
+        kvs = w.as_gpkvs()
+        sets = kvs.config.set_batches * kvs.config.batch_size if set_fraction else 0
+        gets = kvs.config.get_batches * kvs.config.get_batch_size
+        if set_fraction in (0.0, 1.0):
+            assert (sets == 0) == (set_fraction == 0.0)
+        else:
+            assert 0 < sets < sets + gets
+
+    def test_batches_have_unique_keys(self):
+        w = YcsbKvs(YcsbConfig(mix="load", theta=0.99, operations=1024,
+                               batch_size=256, n_sets=512))
+        kvs = w.as_gpkvs()
+        for keys, vals in kvs._batches():
+            assert np.unique(keys).size == keys.size == 256
+
+
+class TestEndToEnd:
+    def test_runs_under_gpm(self):
+        w = YcsbKvs(YcsbConfig(mix="A", operations=1024, batch_size=256,
+                               n_sets=512))
+        result = w.run(Mode.GPM)
+        assert result.workload == "YCSB-A"
+        assert result.extras["ops"] > 0
+        assert result.bytes_persisted > 0
+
+    def test_read_only_mix_persists_nothing_new(self):
+        w = YcsbKvs(YcsbConfig(mix="C", operations=512, batch_size=256,
+                               n_sets=512))
+        result = w.run(Mode.GPM)
+        # GETs only: the store's PM traffic is (near) zero
+        assert result.bytes_persisted < 1024
