@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the vectorised persistence hot path.
+
+``Region.persist_ranges`` runs once per Optane drain epoch; warp drains from
+large kernels hand it thousands of segments.  These benches compare the
+fancy-indexed bulk copy against the historical slice loop, and time one
+warp-drain-shaped kernel launch end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro import System
+from repro.core.persist import persist_window
+from repro.sim import MemKind, Region
+
+
+def _segments(n: int, seg_bytes: int = 8, stride: int = 64):
+    starts = np.arange(n, dtype=np.int64) * stride
+    lengths = np.full(n, seg_bytes, dtype=np.int64)
+    return starts, lengths
+
+
+@pytest.mark.parametrize("n_segments", [64, 1024, 4096])
+def test_persist_ranges_vectorised(benchmark, n_segments):
+    region = Region("pm", n_segments * 64 + 64, MemKind.PM)
+    region.visible[:] = 0x5A
+    starts, lengths = _segments(n_segments)
+
+    def run():
+        for _ in range(100):
+            region.persist_ranges(starts, lengths)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    assert region.persisted[int(starts[-1])] == 0x5A
+
+
+@pytest.mark.parametrize("n_segments", [4096])
+def test_persist_ranges_slice_loop_reference(benchmark, n_segments):
+    """The pre-vectorisation implementation, kept for comparison."""
+    region = Region("pm", n_segments * 64 + 64, MemKind.PM)
+    region.visible[:] = 0xA5
+    starts, lengths = _segments(n_segments)
+
+    def run():
+        for _ in range(100):
+            for start, length in zip(starts.tolist(), lengths.tolist()):
+                region.persisted[start:start + length] = \
+                    region.visible[start:start + length]
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_kernel_launch_hot_path(benchmark):
+    """A prefix-sum-shaped launch: per-thread stores + fences to PM.
+
+    Guards the event-bus refactor's promise that the kernel hot path is no
+    slower than per-store counter bumps (see CHANGES.md for baselines).
+    """
+
+    def run():
+        system = System()
+        pm = system.machine.alloc_pm("pm", 1 << 20)
+
+        def kernel(ctx):
+            base = ctx.global_id * 8
+            ctx.store(pm, base, ctx.global_id, dtype=np.uint64)
+            ctx.persist()
+
+        with persist_window(system):
+            system.gpu.launch(kernel, 256, 64)
+        return system
+
+    system = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert system.stats.pm_bytes_written == 256 * 64 * 8

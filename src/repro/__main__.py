@@ -14,11 +14,16 @@ Commands
 ``workload <name> [--mode MODE]``
     Run one GPMbench workload under one persistence mode and report its
     simulated time and traffic.
+``trace <name> [--mode MODE] [--out DIR]``
+    Run one workload while recording the hardware event bus; saves a
+    replayable JSONL event log and a Chrome-trace JSON (load in
+    ``chrome://tracing`` or Perfetto).  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -64,18 +69,21 @@ def _cmd_all(args) -> int:
     return 0
 
 
+def _find_workload(name: str):
+    from .workloads import gpmbench_suite
+
+    for w in gpmbench_suite():
+        if w.name.lower() == name.lower():
+            return w
+    known = ", ".join(w.name for w in gpmbench_suite())
+    raise SystemExit(f"unknown workload {name!r}; one of: {known}")
+
+
 def _cmd_workload(args) -> int:
-    from .workloads import Mode, gpmbench_suite
+    from .workloads import Mode
 
     mode = Mode(args.mode)
-    target = None
-    for w in gpmbench_suite():
-        if w.name.lower() == args.name.lower():
-            target = w
-            break
-    if target is None:
-        known = ", ".join(w.name for w in gpmbench_suite())
-        raise SystemExit(f"unknown workload {args.name!r}; one of: {known}")
+    target = _find_workload(args.name)
     result = target.run(mode)
     print(f"{target.name} under {mode.value}:")
     print(f"  simulated time     {result.elapsed * 1e3:.4f} ms")
@@ -83,6 +91,31 @@ def _cmd_workload(args) -> int:
     print(f"  PCIe write BW      {result.pcie_write_bandwidth / 1e9:.2f} GB/s")
     for key, value in result.extras.items():
         print(f"  {key:<18} {value}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .sim.events import stats_from_events
+    from .sim.trace import record_events
+    from .workloads import Mode
+
+    mode = Mode(args.mode)
+    target = _find_workload(args.name)
+    with record_events() as recorder:
+        result = target.run(mode)
+    os.makedirs(args.out, exist_ok=True)
+    base = os.path.join(args.out, f"trace_{target.name.lower()}_{mode.value}")
+    jsonl_path = recorder.save_jsonl(base + ".jsonl")
+    chrome_path = recorder.save_chrome_trace(base + ".json")
+    replayed = stats_from_events(recorder.records)
+    print(f"{target.name} under {mode.value}: {len(recorder)} events, "
+          f"{result.elapsed * 1e3:.4f} ms simulated")
+    for etype, count in sorted(recorder.counts().items()):
+        print(f"  {etype:<20} {count}")
+    print(f"  replayed fences    {replayed.system_fences}")
+    print(f"  replayed PM bytes  {replayed.pm_bytes_written:,}")
+    print(f"saved {jsonl_path}")
+    print(f"saved {chrome_path}")
     return 0
 
 
@@ -107,9 +140,16 @@ def main(argv=None) -> int:
     wl.add_argument("--mode", default="gpm",
                     help="gpm | gpm-ndp | gpm-eadr | cap-fs | cap-mm | "
                          "cap-eadr | gpufs")
+    tr = sub.add_parser("trace", help="run one workload recording the event bus")
+    tr.add_argument("name")
+    tr.add_argument("--mode", default="gpm",
+                    help="gpm | gpm-ndp | gpm-eadr | cap-fs | cap-mm | "
+                         "cap-eadr | gpufs")
+    tr.add_argument("--out", default="reports",
+                    help="directory for the JSONL + Chrome-trace files")
     args = parser.parse_args(argv)
     return {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
-            "workload": _cmd_workload}[args.command](args)
+            "workload": _cmd_workload, "trace": _cmd_trace}[args.command](args)
 
 
 if __name__ == "__main__":

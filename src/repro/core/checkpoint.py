@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..sim.events import TraceMark
 from ..sim.memory import MemKind, Region
 from .errors import CheckpointError
 from .hcl import _align
@@ -155,6 +156,7 @@ class Gpmcp:
             raise CheckpointError(f"group {group} has no registered elements")
         machine = self.system.machine
         start = machine.clock.now
+        machine.events.emit(TraceMark(category="gpmcp", label=f"checkpoint:group{group}"))
         gpm_persist_begin(self.system)
         try:
             working = 1 - self._selector(group)
@@ -183,6 +185,7 @@ class Gpmcp:
             raise CheckpointError(f"group {group} has no registered elements")
         machine = self.system.machine
         start = machine.clock.now
+        machine.events.emit(TraceMark(category="gpmcp", label=f"restore:group{group}"))
         consistent = self._selector(group)
         base = self._copy_base(group, consistent)
         for elt in g.elements:

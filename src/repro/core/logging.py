@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..gpu.kernel import ThreadContext
+from ..sim.events import TraceMark
 from .conventional import CONV_MAGIC, ConventionalLog
 from .errors import GpmError
 from .hcl import HCL_MAGIC, HclLog
@@ -22,18 +23,21 @@ GpmLog = HclLog | ConventionalLog
 def gpmlog_create_hcl(system, path: str, size: int, blocks: int,
                       threads_per_block: int) -> HclLog:
     """Create a Hierarchical Coalesced Log sized for a kernel geometry."""
+    system.events.emit(TraceMark(category="gpmlog", label=f"create_hcl:{path}"))
     region = gpm_map(system, path, size, create=True)
     return HclLog.format(region, blocks, threads_per_block)
 
 
 def gpmlog_create_conv(system, path: str, size: int, n_partitions: int) -> ConventionalLog:
     """Create a conventional (lock-based, partitioned) log."""
+    system.events.emit(TraceMark(category="gpmlog", label=f"create_conv:{path}"))
     region = gpm_map(system, path, size, create=True)
     return ConventionalLog.format(region, n_partitions)
 
 
 def gpmlog_open(system, path: str) -> GpmLog:
     """Open an existing log, dispatching on its persisted header magic."""
+    system.events.emit(TraceMark(category="gpmlog", label=f"open:{path}"))
     region = gpm_map(system, path)
     magic = int(region.view(np.uint32, 0, 1)[0])
     if magic == HCL_MAGIC:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..sim.events import KernelLaunch, SystemFence
 from ..sim.memory import MemKind, Region
 from .errors import GpmError
 from .mapping import GpmRegion
@@ -41,8 +42,8 @@ def gpm_memset(system, target, offset: int, size: int, value: int = 0) -> float:
         # The fill streams from the GPU as coalesced stores + one fence.
         pcie_t = system.machine.pcie.stream_write_time(size)
         media_t = system.machine.io_write_arrival(region, [offset], [size])
-        system.machine.stats.kernels_launched += 1
-        system.machine.stats.system_fences += 1
+        system.machine.events.emit(KernelLaunch(kind="memset"))
+        system.machine.events.emit(SystemFence())
         system.machine.clock.advance(
             system.config.gpu_kernel_launch_s
             + max(pcie_t, media_t)

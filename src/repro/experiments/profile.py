@@ -14,13 +14,18 @@ Per workload (under GPM):
   (random/partial-line RMW overhead),
 * PCIe transactions per kilobyte (coalescing quality),
 * kernels launched (kernel-boundary overhead exposure).
+
+The numbers are accumulated by a :class:`~repro.sim.trace.ProfileSink`
+subscribed to the hardware event bus, windowed to each workload's measured
+section - the same figures the windowed stats deltas used to provide, now
+derived from the event stream alone.
 """
 
 from __future__ import annotations
 
 from ..workloads import Mode
 from .results import ExperimentTable
-from .runner import run_workload, workload_names
+from .runner import run_workload_profiled, workload_names
 
 
 def persistence_profile() -> ExperimentTable:
@@ -31,19 +36,15 @@ def persistence_profile() -> ExperimentTable:
          "tx_per_kb", "kernels"],
     )
     for name in workload_names():
-        result = run_workload(name, Mode.GPM)
-        stats = result.window.stats
-        kb = stats.pm_bytes_written / 1024
-        amplification = (stats.pm_bytes_written_internal / stats.pm_bytes_written
-                         if stats.pm_bytes_written else 0.0)
+        _, profile = run_workload_profiled(name, Mode.GPM)
         table.add(
             name,
-            stats.system_fences,
-            stats.system_fences / kb if kb else 0.0,
-            kb,
-            amplification,
-            stats.pcie_transactions / kb if kb else 0.0,
-            stats.kernels_launched,
+            profile.fences,
+            profile.fences_per_kb,
+            profile.pm_kb,
+            profile.media_amplification,
+            profile.tx_per_kb,
+            profile.kernels,
         )
     table.notes.append(
         "high fences/KB + high media amplification = the transactional "

@@ -3,18 +3,34 @@
 Several figures slice the same runs (Fig. 9 and Table 4 both need
 GPM/CAP-mm results; Fig. 12 needs the GPM windows), so
 :func:`run_workload_modes` memoises results per (workload lineup index,
-mode) within the process.  Fresh workload instances and fresh systems are
-used for every run - nothing is shared across modes except the cache of
-*results*.
+mode, machine configuration) within the process.  Fresh workload instances
+and fresh systems are used for every run - nothing is shared across modes
+except the cache of *results*.
+
+The cache key includes the active :class:`~repro.sim.config.SystemConfig`
+(it is a frozen, hashable dataclass), so tests or ablations that swap
+``repro.sim.config.DEFAULT_CONFIG`` never read results produced under a
+different machine.
 """
 
 from __future__ import annotations
 
 from ..host.gpufs import GpufsUnsupported
+from ..sim import config as _config
+from ..sim.config import SystemConfig
+from ..sim.trace import ProfileSink, ProfileSummary, record_events
 from ..workloads import Mode, RunResult, gpmbench_suite
 
-#: (workload name, mode) -> RunResult | GpufsUnsupported
-_cache: dict[tuple[str, Mode], RunResult | GpufsUnsupported] = {}
+
+def _current_config() -> SystemConfig:
+    """The configuration new systems will be built with, read dynamically."""
+    return _config.DEFAULT_CONFIG
+
+
+#: (workload name, mode, config) -> RunResult | GpufsUnsupported
+_cache: dict[tuple[str, Mode, SystemConfig], RunResult | GpufsUnsupported] = {}
+#: (workload name, mode, config) -> (RunResult, event-derived profile)
+_profile_cache: dict[tuple[str, Mode, SystemConfig], tuple[RunResult, ProfileSummary]] = {}
 
 
 def workload_names() -> list[str]:
@@ -34,7 +50,7 @@ def run_workload(name: str, mode: Mode) -> RunResult:
     Raises :class:`GpufsUnsupported` for the GPUfs-incompatible workloads,
     exactly as the real GPUfs port would fail.
     """
-    key = (name, mode)
+    key = (name, mode, _current_config())
     if key not in _cache:
         try:
             _cache[key] = _fresh(name).run(mode)
@@ -46,5 +62,23 @@ def run_workload(name: str, mode: Mode) -> RunResult:
     return out
 
 
+def run_workload_profiled(name: str, mode: Mode) -> tuple[RunResult, ProfileSummary]:
+    """Run one workload with a :class:`ProfileSink` attached to its machines.
+
+    Returns the run result plus the persistence profile derived purely from
+    the event stream (windowed to the workload's measured section).  The
+    run also populates the plain :func:`run_workload` cache.
+    """
+    key = (name, mode, _current_config())
+    if key not in _profile_cache:
+        sink = ProfileSink()
+        with record_events(sink):
+            result = _fresh(name).run(mode)
+        _profile_cache[key] = (result, sink.summary)
+        _cache.setdefault(key, result)
+    return _profile_cache[key]
+
+
 def clear_cache() -> None:
     _cache.clear()
+    _profile_cache.clear()

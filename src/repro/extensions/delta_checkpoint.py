@@ -35,6 +35,7 @@ from ..core.mapping import GpmRegion, gpm_map
 from ..core.persist import gpm_persist_begin, gpm_persist_end
 from ..experiments.results import ExperimentTable
 from ..gpu.memory import DeviceArray
+from ..sim.events import KernelLaunch, SystemFence
 from ..system import System
 
 _MAGIC = 0x44435031  # "DCP1"
@@ -130,8 +131,8 @@ class DeltaCheckpoint:
                 nbytes = int(lengths.sum())
                 pcie_t = system.machine.pcie.stream_write_time(nbytes)
                 media_t = system.machine.io_write_arrival(region, starts, lengths)
-                system.machine.stats.kernels_launched += 1
-                system.machine.stats.system_fences += 1
+                system.machine.events.emit(KernelLaunch(kind="delta_copy"))
+                system.machine.events.emit(SystemFence())
                 system.machine.clock.advance(
                     system.config.gpu_kernel_launch_s
                     + max(pcie_t, media_t)

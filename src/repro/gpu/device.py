@@ -38,6 +38,7 @@ import math
 import numpy as np
 
 from ..sim.crash import CrashInjector
+from ..sim.events import HbmWrite, KernelLaunch, PcieWrite, SystemFence, WarpDrain
 from ..sim.machine import Machine
 from ..sim.memory import MemKind, Region
 from ..sim.optane import merge_segments
@@ -64,6 +65,9 @@ class _BlockEngine:
         self._buffers: dict[int, _WarpDrainBuffer] = {}
         self._warp_rounds: dict[int, int] = {}
         self._warps_with_writes: set[int] = set()
+        #: fences completed this launch; emitted as one batched SystemFence
+        #: event at finish() so the per-fence hot path is a counter bump.
+        self._fence_count = 0
 
     # -- metering (called by ThreadContext) -------------------------------
 
@@ -91,14 +95,13 @@ class _BlockEngine:
 
     def fence(self, ctx: ThreadContext) -> None:
         self.acct.fences += 1
-        self.machine.stats.system_fences += 1
+        self._fence_count += 1
         ctx._round += 1
         warp = ctx.tid.warp_global
         self._warp_rounds[warp] = max(self._warp_rounds.get(warp, 0), ctx._round)
         if ctx._pending:
             buf = self._buffers.setdefault(warp, _WarpDrainBuffer())
-            for region, start, length in ctx._pending:
-                buf.add(ctx._round, region, start, length)
+            buf.add_many(ctx._round, ctx._pending)
             ctx._pending.clear()
             self._warps_with_writes.add(warp)
 
@@ -109,8 +112,7 @@ class _BlockEngine:
         if ctx._pending:
             warp = ctx.tid.warp_global
             buf = self._buffers.setdefault(warp, _WarpDrainBuffer())
-            for region, start, length in ctx._pending:
-                buf.add(_IMPLICIT_ROUND, region, start, length)
+            buf.add_many(_IMPLICIT_ROUND, ctx._pending)
             ctx._pending.clear()
             self._warps_with_writes.add(warp)
 
@@ -120,21 +122,30 @@ class _BlockEngine:
             return
         for round_no in sorted(buf.rounds):
             for region, starts, lengths in buf.rounds[round_no].values():
-                self._deliver(region, starts, lengths)
+                self._deliver(region, starts, lengths, round_no)
 
     def flush_all(self) -> None:
         for warp in list(self._buffers):
             self.flush_warp(warp)
 
-    def _deliver(self, region: Region, starts: list[int], lengths: list[int]) -> None:
+    def _deliver(self, region: Region, starts: list[int], lengths: list[int],
+                 round_no: int = 0) -> None:
         s, l = merge_segments(np.asarray(starts), np.asarray(lengths))
         nbytes = int(l.sum())
+        self.machine.events.emit(WarpDrain(
+            region=region.name,
+            round_no=-1 if round_no == _IMPLICIT_ROUND else round_no,
+            segments=s.size, nbytes=nbytes, starts=s, lengths=l,
+        ))
         self.acct.host_write_bytes += nbytes
         self.acct.host_write_tx += self.machine.pcie.transactions_for(s, l)
         self.acct.pm_media_time += self.machine.io_write_arrival(region, s, l)
 
     def finish(self) -> None:
         self.flush_all()
+        if self._fence_count:
+            self.machine.events.emit(SystemFence(count=self._fence_count))
+            self._fence_count = 0
         self.acct.max_warp_rounds = max(self._warp_rounds.values(), default=0)
         self.acct.warps_with_host_writes = len(self._warps_with_writes)
 
@@ -188,7 +199,7 @@ class Gpu:
         before = self.machine.stats.snapshot()
         total_threads = grid.count * block.count
         acct.ops += compute_ops_per_thread * total_threads
-        self.machine.stats.kernels_launched += 1
+        self.machine.events.emit(KernelLaunch(kind="kernel"))
         is_generator = inspect.isgeneratorfunction(kernel)
         retired = 0
         crashed = False
@@ -310,7 +321,7 @@ class Gpu:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         cfg = self.config
-        self.machine.stats.kernels_launched += 1
+        self.machine.events.emit(KernelLaunch(kind="stream_copy"))
         data = src.read_bytes(src_off, nbytes).copy()
         dst.write_bytes(dst_off, data)
         elapsed = cfg.gpu_kernel_launch_s
@@ -331,7 +342,7 @@ class Gpu:
                 media_t = self.machine.io_write_arrival(dst, [dst_off], [nbytes])
                 elapsed += max(pcie_t, media_t, nbytes / cfg.gpu_hbm_bw)
                 if persist:
-                    self.machine.stats.system_fences += 1
+                    self.machine.events.emit(SystemFence())
                     elapsed += cfg.pcie_rtt_s
         self.machine.clock.advance(elapsed)
         return elapsed
@@ -357,7 +368,7 @@ class Gpu:
         offsets = np.asarray(offsets, dtype=np.int64)
         n = offsets.size
         cfg = self.config
-        self.machine.stats.kernels_launched += 1
+        self.machine.events.emit(KernelLaunch(kind="scatter"))
         if n == 0:
             self.machine.clock.advance(cfg.gpu_kernel_launch_s)
             return cfg.gpu_kernel_launch_s
@@ -375,7 +386,7 @@ class Gpu:
         nbytes_total = n * item_bytes
         if region.kind is MemKind.HBM:
             # Device-local scatter: only compute + HBM bandwidth matter.
-            self.machine.stats.hbm_bytes_written += nbytes_total
+            self.machine.events.emit(HbmWrite(nbytes=nbytes_total))
             compute = ops_per_item * n * cfg.gpu_op_latency_s / max(
                 1, min(n, cfg.gpu_parallel_lanes)
             )
@@ -396,7 +407,7 @@ class Gpu:
             total_tx += self.machine.pcie.transactions_for(ms, ml)
             media += self.machine.io_write_arrival(region, ms, ml)
         nbytes = n * item_bytes
-        self.machine.stats.system_fences += fence_rounds * n
+        self.machine.events.emit(SystemFence(count=fence_rounds * n))
         warps_issuing = min(n_warps, cfg.gpu_max_resident_warps)
         pcie_t = self.machine.pcie.fine_grained_write_time(total_tx, nbytes, warps_issuing)
         waves = max(1, math.ceil(n_warps / cfg.gpu_max_resident_warps))
@@ -415,7 +426,7 @@ class Gpu:
         parallelism.  Returns elapsed seconds (also advances the clock).
         """
         cfg = self.config
-        self.machine.stats.kernels_launched += 1
+        self.machine.events.emit(KernelLaunch(kind="compute"))
         lanes = cfg.gpu_parallel_lanes
         if active_threads is not None:
             lanes = max(1, min(active_threads, lanes))
@@ -434,9 +445,8 @@ class Gpu:
         raw = np.frombuffer(arr.tobytes(), dtype=np.uint8)
         region.write_bytes(offset, raw)
         media = self.machine.io_write_arrival(region, [offset], [len(raw)])
-        self.machine.stats.system_fences += 1
-        self.machine.stats.pcie_transactions += 1
-        self.machine.stats.pcie_bytes_to_host += len(raw)
+        self.machine.events.emit(SystemFence())
+        self.machine.events.emit(PcieWrite(nbytes=len(raw), transactions=1))
         elapsed = self.machine.config.pcie_rtt_s + media
         self.machine.clock.advance(elapsed)
         return elapsed

@@ -74,7 +74,12 @@ class KernelResult:
 
 @dataclass
 class _WarpDrainBuffer:
-    """Pending persist batches for one warp, keyed by fence round."""
+    """Pending persist batches for one warp, keyed by fence round.
+
+    Stores accumulate as plain per-region lists; they are converted to
+    arrays and merged into coalesced segments exactly once, when the round
+    drains (``_BlockEngine._deliver``).
+    """
 
     rounds: dict[int, dict[int, tuple[Region, list[int], list[int]]]] = field(
         default_factory=dict
@@ -88,6 +93,19 @@ class _WarpDrainBuffer:
         _, starts, lengths = per_region[key]
         starts.append(start)
         lengths.append(length)
+
+    def add_many(self, round_no: int, pending: list[tuple[Region, int, int]]) -> None:
+        """Move a thread's whole pending list into ``round_no`` in one pass."""
+        per_region = self.rounds.setdefault(round_no, {})
+        get = per_region.get
+        for region, start, length in pending:
+            key = id(region)
+            entry = get(key)
+            if entry is None:
+                per_region[key] = entry = (region, [], [])
+                get = per_region.get
+            entry[1].append(start)
+            entry[2].append(length)
 
 
 class ThreadContext:
@@ -172,38 +190,41 @@ class ThreadContext:
         Visible immediately (coherent readers see it); persistence of host
         stores requires a subsequent :meth:`persist`.
         """
-        dtype = np.dtype(dtype)
-        arr = np.asarray(value, dtype=dtype)
-        raw = arr.tobytes()
-        region.write_bytes(offset, np.frombuffer(raw, dtype=np.uint8))
-        self._engine.meter_write(self, region, offset, len(raw))
+        arr = np.asarray(value, dtype=np.dtype(dtype))
+        # Byte view without the tobytes()/frombuffer round trip; reshape(-1)
+        # also lifts 0-d scalars to 1-d so the view is legal.
+        raw = np.ascontiguousarray(arr).reshape(-1).view(np.uint8)
+        region.write_bytes(offset, raw)
+        self._engine.meter_write(self, region, offset, raw.size)
         self._engine.acct.ops += 1
+
+    def _atomic_write(self, region: Region, offset: int, value, dtype) -> None:
+        """The write half of an atomic RMW, via the same path as stores."""
+        raw = np.asarray(value, dtype=dtype).reshape(-1).view(np.uint8)
+        region.write_bytes(offset, raw)
 
     def atomic_add(self, region: Region, offset: int, value, dtype=np.int64):
         """Atomic fetch-and-add; returns the previous value."""
         dtype = np.dtype(dtype)
-        view = region.read_bytes(offset, dtype.itemsize).view(dtype)
-        old = dtype.type(view[0])
-        view[0] = old + dtype.type(value)
+        old = dtype.type(region.read_bytes(offset, dtype.itemsize).view(dtype)[0])
+        self._atomic_write(region, offset, old + dtype.type(value), dtype)
         self._engine.meter_atomic(self, region, offset, dtype.itemsize)
         return old
 
     def atomic_cas(self, region: Region, offset: int, expected, desired, dtype=np.int64):
         """Atomic compare-and-swap; returns the previous value."""
         dtype = np.dtype(dtype)
-        view = region.read_bytes(offset, dtype.itemsize).view(dtype)
-        old = dtype.type(view[0])
+        old = dtype.type(region.read_bytes(offset, dtype.itemsize).view(dtype)[0])
         if old == dtype.type(expected):
-            view[0] = dtype.type(desired)
+            self._atomic_write(region, offset, dtype.type(desired), dtype)
         self._engine.meter_atomic(self, region, offset, dtype.itemsize)
         return old
 
     def atomic_max(self, region: Region, offset: int, value, dtype=np.int64):
         """Atomic max; returns the previous value."""
         dtype = np.dtype(dtype)
-        view = region.read_bytes(offset, dtype.itemsize).view(dtype)
-        old = dtype.type(view[0])
-        view[0] = max(old, dtype.type(value))
+        old = dtype.type(region.read_bytes(offset, dtype.itemsize).view(dtype)[0])
+        self._atomic_write(region, offset, max(old, dtype.type(value)), dtype)
         self._engine.meter_atomic(self, region, offset, dtype.itemsize)
         return old
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..sim.events import CpuDrain, CpuPmWrite
 from ..sim.machine import Machine
 from ..sim.memory import MemKind, Region
 
@@ -82,14 +83,14 @@ class Cpu:
         if region.kind is not MemKind.PM:
             raise ValueError("persist_range targets PM regions")
         threads = self._clamp_threads(threads)
-        self.machine.stats.cpu_drains += 1
+        self.machine.events.emit(CpuDrain(op="flush"))
         media = self.machine.optane.write_flush_grain(
             region, offset, size, grain=self.config.cpu_cache_line_bytes, random=random
         )
         self.machine.llc.drop_range(region, offset, size)
         sw = size / (self.config.cpu_persist_bw_single
                      * self.config.cpu_persist_speedup(threads))
-        self.machine.stats.pm_bytes_written_by_cpu += size
+        self.machine.events.emit(CpuPmWrite(nbytes=size))
         elapsed = max(sw, media)
         self.machine.clock.advance(elapsed)
         return elapsed
@@ -100,7 +101,7 @@ class Cpu:
         starts = np.atleast_1d(np.asarray(starts, dtype=np.int64))
         lengths = np.atleast_1d(np.asarray(lengths, dtype=np.int64))
         threads = self._clamp_threads(threads)
-        self.machine.stats.cpu_drains += 1
+        self.machine.events.emit(CpuDrain(op="scattered"))
         media = 0.0
         total = 0
         for s, l in zip(starts.tolist(), lengths.tolist()):
@@ -111,7 +112,7 @@ class Cpu:
             total += l
         sw = total / (self.config.cpu_persist_bw_single
                       * self.config.cpu_persist_speedup(threads))
-        self.machine.stats.pm_bytes_written_by_cpu += total
+        self.machine.events.emit(CpuPmWrite(nbytes=total))
         elapsed = max(sw, media)
         self.machine.clock.advance(elapsed)
         return elapsed
@@ -127,7 +128,7 @@ class Cpu:
         threads = self._clamp_threads(threads)
         region.write_bytes(offset, data)
         media = self.machine.cpu_nt_store_arrival(region, [offset], [data.size])
-        self.machine.stats.cpu_drains += 1
+        self.machine.events.emit(CpuDrain(op="nt_store"))
         sw = data.size / (self.config.cpu_nt_store_bw_single
                           * self.config.cpu_persist_speedup(threads))
         elapsed = max(sw, media)

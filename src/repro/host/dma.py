@@ -12,6 +12,7 @@ CAP still needs the CPU to flush afterwards.
 
 from __future__ import annotations
 
+from ..sim.events import DramWrite, HbmWrite
 from ..sim.machine import Machine
 from ..sim.memory import MemKind, Region
 
@@ -42,7 +43,7 @@ class DmaEngine:
             # I/O writes to PM land in the LLC via DDIO: visible, volatile.
             self.machine.llc.install_writes(dst, [dst_off], [nbytes])
         else:
-            self.machine.stats.dram_bytes_written += nbytes
+            self.machine.events.emit(DramWrite(nbytes=nbytes, source="dma"))
         if not pinned:
             elapsed += nbytes / self.config.cpu_memcpy_bw_single
         self.machine.clock.advance(elapsed)
@@ -58,7 +59,7 @@ class DmaEngine:
         data = src.read_bytes(src_off, nbytes).copy()
         dst.write_bytes(dst_off, data)
         elapsed = self.machine.pcie.dma_time(nbytes, to_gpu=True)
-        self.machine.stats.hbm_bytes_written += nbytes
+        self.machine.events.emit(HbmWrite(nbytes=nbytes))
         if src.kind is MemKind.PM:
             elapsed += self.machine.optane.read(nbytes)
         if not pinned:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..sim.events import CpuPmWrite, Syscall
 from ..sim.machine import Machine
 from ..sim.memory import Region
 
@@ -65,7 +66,7 @@ class DaxFilesystem:
         """Create a PM-resident file of ``size`` bytes."""
         if path in self._files:
             raise FsError(f"file exists: {path!r}")
-        self.machine.stats.syscalls += 1
+        self.machine.events.emit(Syscall(op="create"))
         self.machine.clock.advance(self.config.syscall_s)
         region = self.machine.alloc_pm(f"fs:{path}", size)
         f = PmFile(path, region)
@@ -73,7 +74,7 @@ class DaxFilesystem:
         return f
 
     def open(self, path: str) -> PmFile:
-        self.machine.stats.syscalls += 1
+        self.machine.events.emit(Syscall(op="open"))
         self.machine.clock.advance(self.config.syscall_s)
         try:
             return self._files[path]
@@ -87,7 +88,7 @@ class DaxFilesystem:
         f = self._files.pop(path, None)
         if f is None:
             raise FsError(f"no such file: {path!r}")
-        self.machine.stats.syscalls += 1
+        self.machine.events.emit(Syscall(op="unlink"))
         self.machine.clock.advance(self.config.syscall_s)
         self.machine.free(f.region)
 
@@ -103,7 +104,7 @@ class DaxFilesystem:
         filesystem software factor; durability requires :meth:`fsync`.
         """
         data = np.asarray(data, dtype=np.uint8).ravel()
-        self.machine.stats.syscalls += 1
+        self.machine.events.emit(Syscall(op="write"))
         f.region.write_bytes(offset, data)
         self.machine.cpu_store_arrival(f.region, offset, data.size)
         f._mark_dirty(offset, data.size)
@@ -117,7 +118,7 @@ class DaxFilesystem:
         Pays the syscall, the flush-grain media drain of the dirty span, and
         the filesystem software derate on the persist bandwidth.
         """
-        self.machine.stats.syscalls += 1
+        self.machine.events.emit(Syscall(op="fsync"))
         span = f._take_dirty()
         elapsed = self.config.syscall_s
         if span is not None:
@@ -128,6 +129,6 @@ class DaxFilesystem:
             self.machine.llc.drop_range(f.region, offset, size)
             sw = size / (self.config.cpu_persist_bw_single / self.config.fs_bw_derate)
             elapsed += max(media, sw)
-            self.machine.stats.pm_bytes_written_by_cpu += size
+            self.machine.events.emit(CpuPmWrite(nbytes=size))
         self.machine.clock.advance(elapsed)
         return elapsed

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 
+from ..sim.events import Syscall
 from ..sim.memory import MemKind, Region
 from .filesystem import PmFile
 
@@ -68,7 +69,7 @@ class GpuFs:
         start = machine.clock.now
         n_calls = max(1, math.ceil(nbytes / GPUFS_PAGE_BYTES))
         rpc_time = n_calls * self.system.config.gpufs_call_s / GPUFS_RPC_CHANNELS
-        machine.stats.syscalls += n_calls
+        machine.events.emit(Syscall(op="gwrite", count=n_calls))
         machine.clock.advance(rpc_time)
         # Data path: DMA pages to host, then the CAP-fs style write+fsync.
         data = src.read_bytes(src_off, nbytes).copy()

@@ -10,26 +10,48 @@ bounded concurrency.
 from .clock import SimClock, Span
 from .config import DEFAULT_CONFIG, SystemConfig
 from .crash import CrashInjector, SimulatedCrash
+from .events import (
+    EVENT_TYPES,
+    Event,
+    EventBus,
+    StatsAggregator,
+    event_from_record,
+    event_to_record,
+    stats_from_events,
+)
 from .machine import Machine
 from .memory import CRASH_POISON, MemKind, Region
 from .optane import OptaneModel, merge_segments
 from .pcie import PcieModel
 from .stats import MachineStats, WindowedStats
+from .trace import ProfileSink, ProfileSummary, TraceRecorder, load_jsonl, record_events
 
 __all__ = [
     "CRASH_POISON",
     "CrashInjector",
     "DEFAULT_CONFIG",
+    "EVENT_TYPES",
+    "Event",
+    "EventBus",
     "Machine",
     "MachineStats",
     "MemKind",
     "OptaneModel",
     "PcieModel",
+    "ProfileSink",
+    "ProfileSummary",
     "Region",
     "SimClock",
     "SimulatedCrash",
     "Span",
+    "StatsAggregator",
     "SystemConfig",
+    "TraceRecorder",
     "WindowedStats",
+    "event_from_record",
+    "event_to_record",
+    "load_jsonl",
     "merge_segments",
+    "record_events",
+    "stats_from_events",
 ]

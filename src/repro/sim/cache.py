@@ -29,17 +29,17 @@ from collections import OrderedDict
 import numpy as np
 
 from .config import SystemConfig
+from .events import EventBus, LlcEvict, LlcFlush, LlcInstall
 from .memory import MemKind, Region
 from .optane import OptaneModel
-from .stats import MachineStats
 
 
 class LastLevelCache:
     """Dirty-line tracking for the DDIO/LLC persistence gap."""
 
-    def __init__(self, config: SystemConfig, stats: MachineStats, optane: OptaneModel) -> None:
+    def __init__(self, config: SystemConfig, events: EventBus, optane: OptaneModel) -> None:
         self._config = config
-        self._stats = stats
+        self._events = events
         self._optane = optane
         self._line = config.cpu_cache_line_bytes
         self._capacity_lines = config.llc_ddio_bytes // self._line
@@ -76,6 +76,7 @@ class LastLevelCache:
             tail_bytes = self._capacity_lines * self._line
             starts, lengths = self._persist_all_but_tail(region, starts, lengths, tail_bytes)
         rid = id(region)
+        hits = fills = 0
         for start, length in zip(starts.tolist(), lengths.tolist()):
             if length <= 0:
                 continue
@@ -85,10 +86,12 @@ class LastLevelCache:
                 key = (rid, line)
                 if key in self._dirty:
                     self._dirty.move_to_end(key)
-                    self._stats.llc_ddio_hits += 1
+                    hits += 1
                 else:
                     self._dirty[key] = (region, line)
-                    self._stats.llc_ddio_fills += 1
+                    fills += 1
+        if hits or fills:
+            self._events.emit(LlcInstall(region=region.name, hits=hits, fills=fills))
         self._evict_over_capacity()
 
     def _persist_all_but_tail(self, region, starts, lengths, tail_bytes):
@@ -116,14 +119,17 @@ class LastLevelCache:
                 head_lengths.append(length)
         if head_starts:
             self._optane.write_epoch(region, head_starts, head_lengths)
-            self._stats.llc_evictions += len(head_starts)
+            self._events.emit(LlcEvict(lines=len(head_starts)))
         return np.asarray(keep_starts, dtype=np.int64), np.asarray(keep_lengths, dtype=np.int64)
 
     def _evict_over_capacity(self) -> None:
+        evicted = 0
         while len(self._dirty) > self._capacity_lines:
             (_, line), (region, _) = self._dirty.popitem(last=False)
             self._write_back(region, line)
-            self._stats.llc_evictions += 1
+            evicted += 1
+        if evicted:
+            self._events.emit(LlcEvict(lines=evicted))
 
     def _write_back(self, region: Region, line: int) -> None:
         start = line * self._line
@@ -165,7 +171,7 @@ class LastLevelCache:
             return 0.0
         for line in hits:
             del self._dirty[(rid, line)]
-        self._stats.cache_lines_flushed += len(hits)
+        self._events.emit(LlcFlush(region=region.name, lines=len(hits)))
         starts = np.asarray(sorted(hits), dtype=np.int64) * self._line
         return self._optane.flush_lines(region, starts, self._line)
 

@@ -13,6 +13,13 @@ traffic counters into one object with a small set of *hardware primitives*:
 Higher layers (:mod:`repro.gpu`, :mod:`repro.host`, :mod:`repro.core`) build
 the GPU engine, CPU software and libGPM on top of these primitives; they
 never touch ``Region.persisted`` directly.
+
+Instrumentation: every primitive emits one typed event on the machine's
+:class:`~repro.sim.events.EventBus` (``machine.events``); the counters in
+``machine.stats`` are maintained by the always-subscribed
+:class:`~repro.sim.events.StatsAggregator`, and further subscribers (trace
+recorders, profile sinks) can be attached without touching the hardware
+models.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -22,10 +29,22 @@ import numpy as np
 from .cache import LastLevelCache
 from .clock import SimClock
 from .config import DEFAULT_CONFIG, SystemConfig
+from .events import (
+    BackgroundPersist,
+    Crash,
+    CpuDrain,
+    CpuPmWrite,
+    DdioToggle,
+    DramWrite,
+    EventBus,
+    GpuPmWrite,
+    RegionAlloc,
+    RegionFree,
+    StatsAggregator,
+)
 from .memory import MemKind, Region
 from .optane import OptaneModel
 from .pcie import PcieModel
-from .stats import MachineStats
 
 
 class Machine:
@@ -35,10 +54,14 @@ class Machine:
         self.config = config
         self.eadr = eadr
         self.clock = SimClock()
-        self.stats = MachineStats()
-        self.optane = OptaneModel(config, self.stats)
-        self.llc = LastLevelCache(config, self.stats, self.optane)
-        self.pcie = PcieModel(config, self.stats)
+        #: The hardware event bus; ``stats`` is its first subscriber.
+        self.events = EventBus(self.clock)
+        self._aggregator = StatsAggregator()
+        self.stats = self._aggregator.stats
+        self.events.subscribe(self._aggregator)
+        self.optane = OptaneModel(config, self.events)
+        self.llc = LastLevelCache(config, self.events, self.optane)
+        self.pcie = PcieModel(config, self.events)
         #: DDIO steers inbound I/O writes into the LLC when enabled (the
         #: hardware default).  libGPM's gpm_persist_begin/end toggles this.
         self.ddio_enabled = True
@@ -53,6 +76,7 @@ class Machine:
             raise ValueError(f"region {name!r} already allocated")
         region = Region(name, size, kind)
         self._regions[name] = region
+        self.events.emit(RegionAlloc(region=name, kind=kind.value, size=size))
         return region
 
     def alloc_pm(self, name: str, size: int) -> Region:
@@ -70,6 +94,11 @@ class Machine:
         if existing is not region:
             raise KeyError(f"region {region.name!r} is not allocated on this machine")
         del self._regions[region.name]
+        # Dirty LLC lines of a freed PM region must not write back into (or
+        # resurrect) a later allocation that reuses the name.
+        if region.kind is MemKind.PM:
+            self.llc.drop_range(region, 0, region.size)
+        self.events.emit(RegionFree(region=region.name))
 
     def region(self, name: str) -> Region:
         return self._regions[name]
@@ -86,6 +115,7 @@ class Machine:
     def set_ddio(self, enabled: bool) -> None:
         """Flip DDIO for inbound device writes (models ``perfctrlsts_0``)."""
         self.ddio_enabled = bool(enabled)
+        self.events.emit(DdioToggle(enabled=self.ddio_enabled))
 
     # -- hardware write paths ---------------------------------------------
 
@@ -103,14 +133,14 @@ class Machine:
             raise ValueError("HBM is not host memory; io writes target DRAM or PM")
         if region.kind is MemKind.DRAM:
             total = int(np.sum(np.atleast_1d(np.asarray(lengths, dtype=np.int64))))
-            self.stats.dram_bytes_written += total
+            self.events.emit(DramWrite(nbytes=total, source="gpu"))
             return 0.0
         if self.ddio_enabled:
             self.llc.install_writes(region, starts, lengths)
             return 0.0
         time = self.optane.write_epoch(region, starts, lengths)
         total = int(np.sum(np.atleast_1d(np.asarray(lengths, dtype=np.int64))))
-        self.stats.pm_bytes_written_by_gpu += total
+        self.events.emit(GpuPmWrite(nbytes=total))
         return time
 
     def cpu_store_arrival(self, region: Region, offset: int, size: int) -> None:
@@ -118,24 +148,24 @@ class Machine:
         if region.kind is MemKind.PM:
             self.llc.install_writes(region, [offset], [size])
         elif region.kind is MemKind.DRAM:
-            self.stats.dram_bytes_written += size
+            self.events.emit(DramWrite(nbytes=size, source="cpu"))
         else:
             raise ValueError("CPU stores target host memory, not HBM")
 
     def cpu_flush(self, region: Region, offset: int, size: int) -> float:
         """CLFLUSHOPT+drain over a range; returns the media seconds."""
-        self.stats.cpu_drains += 1
+        self.events.emit(CpuDrain(op="flush"))
         return self.llc.flush_range(region, offset, size)
 
     def cpu_nt_store_arrival(self, region: Region, starts, lengths) -> float:
         """Non-temporal stores bypass the cache straight to the media."""
         if region.kind is not MemKind.PM:
             total = int(np.sum(np.atleast_1d(np.asarray(lengths, dtype=np.int64))))
-            self.stats.dram_bytes_written += total
+            self.events.emit(DramWrite(nbytes=total, source="cpu"))
             return 0.0
         time = self.optane.write_epoch(region, starts, lengths)
         total = int(np.sum(np.atleast_1d(np.asarray(lengths, dtype=np.int64))))
-        self.stats.pm_bytes_written_by_cpu += total
+        self.events.emit(CpuPmWrite(nbytes=total))
         return time
 
     def background_persist(self, region: Region, offset: int, size: int) -> None:
@@ -149,8 +179,7 @@ class Machine:
             raise RuntimeError("background_persist is only meaningful with eADR")
         region.persist_range(offset, size)
         self.llc.drop_range(region, offset, size)
-        self.stats.pm_bytes_written += size
-        self.stats.pm_bytes_written_internal += size
+        self.events.emit(BackgroundPersist(region=region.name, nbytes=size))
 
     # -- failure ----------------------------------------------------------
 
@@ -160,6 +189,7 @@ class Machine:
         The LLC applies its (e)ADR semantics first, then every region keeps
         only its persisted image (PM) or is poisoned (DRAM/HBM).
         """
+        self.events.emit(Crash(eadr=self.eadr))
         self.llc.crash(self.eadr)
         for region in self._regions.values():
             region.crash()

@@ -121,12 +121,36 @@ class Region:
         self._check_range(offset, size)
         self.persisted[offset : offset + size] = self.visible[offset : offset + size]
 
+    #: Below this many segments a plain slice loop beats building the index
+    #: vector (see ``benchmarks/test_persist_ranges.py``).
+    _PERSIST_SLICE_THRESHOLD = 16
+
     def persist_ranges(self, starts: np.ndarray, lengths: np.ndarray) -> None:
-        """Vectorised :meth:`persist_range` over many segments."""
+        """Vectorised :meth:`persist_range` over many segments.
+
+        Large segment counts (a warp drain round can carry thousands) are
+        copied with one fancy-indexed gather/scatter instead of a Python
+        loop of slice assignments.
+        """
         if self.persisted is None:
             raise TypeError(f"cannot persist volatile region {self.name!r}")
-        for start, length in zip(starts.tolist(), lengths.tolist()):
-            self.persisted[start : start + length] = self.visible[start : start + length]
+        starts = np.asarray(starts, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if starts.size <= self._PERSIST_SLICE_THRESHOLD:
+            for start, length in zip(starts.tolist(), lengths.tolist()):
+                self.persisted[start : start + length] = self.visible[start : start + length]
+            return
+        keep = lengths > 0
+        if not keep.all():
+            starts, lengths = starts[keep], lengths[keep]
+        total = int(lengths.sum())
+        if total == 0:
+            return
+        # Absolute byte index of every copied byte: position within the
+        # concatenated segments, shifted per segment to its start address.
+        before = np.cumsum(lengths) - lengths
+        idx = np.arange(total, dtype=np.int64) + np.repeat(starts - before, lengths)
+        self.persisted[idx] = self.visible[idx]
 
     def crash(self) -> None:
         """Apply crash semantics: keep only what was persisted."""

@@ -29,8 +29,8 @@ from __future__ import annotations
 import numpy as np
 
 from .config import SystemConfig
+from .events import EventBus, OptaneEpoch, PmRead
 from .memory import Region
-from .stats import MachineStats
 
 
 def merge_segments(starts: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -61,9 +61,9 @@ def merge_segments(starts: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray,
 class OptaneModel:
     """Pattern-aware write/read timing for one Optane persistence domain."""
 
-    def __init__(self, config: SystemConfig, stats: MachineStats) -> None:
+    def __init__(self, config: SystemConfig, events: EventBus) -> None:
         self._config = config
-        self._stats = stats
+        self._events = events
         self._line = config.pm_xpline_bytes
         self._line_time = self._line / config.pm_bw_seq_aligned
         #: (region id, XPLine index) of the last write, for cross-epoch
@@ -119,8 +119,11 @@ class OptaneModel:
 
         self._last_line = int(last_lines[-1])
         self._last_region = id(region)
-        self._stats.pm_bytes_written += logical_bytes
-        self._stats.pm_bytes_written_internal += total_touches * self._line
+        self._events.emit(OptaneEpoch(
+            region=region.name, logical_bytes=logical_bytes,
+            media_bytes=total_touches * self._line, segments=run_starts.size,
+            random_starts=random_starts, media_time=time,
+        ))
         return time
 
     def write_flush_grain(self, region: Region, offset: int, size: int,
@@ -147,9 +150,14 @@ class OptaneModel:
             per_touch *= self._config.pm_random_penalty
         self._last_line = (offset + size - 1) // self._line
         self._last_region = id(region)
-        self._stats.pm_bytes_written += size
-        self._stats.pm_bytes_written_internal += touches * self._line
-        return touches * per_touch
+        time = touches * per_touch
+        self._events.emit(OptaneEpoch(
+            region=region.name, logical_bytes=size,
+            media_bytes=touches * self._line, segments=touches,
+            random_starts=touches if random else 0, media_time=time,
+            grain="flush_grain",
+        ))
+        return time
 
     def flush_lines(self, region: Region, line_starts, line_size: int) -> float:
         """Drain a set of dirty cache lines, each as its own epoch.
@@ -174,15 +182,18 @@ class OptaneModel:
         time = (touches + n_random * (self._config.pm_random_penalty - 1.0)) * self._line_time
         self._last_line = int(xlines[-1])
         self._last_region = id(region)
-        self._stats.pm_bytes_written += int(lengths.sum())
-        self._stats.pm_bytes_written_internal += touches * self._line
+        self._events.emit(OptaneEpoch(
+            region=region.name, logical_bytes=int(lengths.sum()),
+            media_bytes=touches * self._line, segments=touches,
+            random_starts=n_random, media_time=time, grain="line_drain",
+        ))
         return time
 
     def read(self, nbytes: int, random: bool = False) -> float:
         """Media seconds to read ``nbytes`` from PM."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        self._stats.pm_bytes_read += nbytes
+        self._events.emit(PmRead(nbytes=nbytes, random=random))
         bw = self._config.pm_bw_seq_aligned
         if random:
             bw /= self._config.pm_random_penalty

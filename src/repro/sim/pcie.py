@@ -20,15 +20,15 @@ from __future__ import annotations
 import numpy as np
 
 from .config import SystemConfig
-from .stats import MachineStats
+from .events import DmaTransfer, EventBus, PcieRead, PcieWrite
 
 
 class PcieModel:
     """Analytic transfer times over the host<->GPU interconnect."""
 
-    def __init__(self, config: SystemConfig, stats: MachineStats) -> None:
+    def __init__(self, config: SystemConfig, events: EventBus) -> None:
         self._config = config
-        self._stats = stats
+        self._events = events
 
     # ------------------------------------------------------------------
 
@@ -37,11 +37,7 @@ class PcieModel:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         cfg = self._config
-        if to_gpu:
-            self._stats.pcie_bytes_to_gpu += nbytes
-        else:
-            self._stats.pcie_bytes_to_host += nbytes
-        self._stats.dma_transfers += 1 if initiate else 0
+        self._events.emit(DmaTransfer(nbytes=nbytes, to_gpu=to_gpu, initiated=initiate))
         time = nbytes / cfg.pcie_bw
         if initiate:
             time += cfg.dma_init_s
@@ -79,8 +75,7 @@ class PcieModel:
         if n_tx <= 0:
             return 0.0
         cfg = self._config
-        self._stats.pcie_transactions += n_tx
-        self._stats.pcie_bytes_to_host += nbytes
+        self._events.emit(PcieWrite(nbytes=nbytes, transactions=n_tx))
         concurrency = max(1, min(n_warps * cfg.pcie_outstanding_per_warp,
                                  cfg.pcie_max_outstanding))
         latency_bound = n_tx * cfg.pcie_rtt_s / concurrency
@@ -99,15 +94,17 @@ class PcieModel:
         if nbytes <= 0:
             return 0.0
         cfg = self._config
-        self._stats.pcie_bytes_to_host += nbytes
-        self._stats.pcie_transactions += max(1, nbytes // cfg.pcie_tx_bytes)
+        self._events.emit(PcieWrite(
+            nbytes=nbytes, transactions=max(1, nbytes // cfg.pcie_tx_bytes),
+            stream=True,
+        ))
         return nbytes / cfg.pcie_bw
 
     def stream_read_time(self, nbytes: int) -> float:
         """Seconds for a bandwidth-bound bulk read from host memory."""
         if nbytes <= 0:
             return 0.0
-        self._stats.pcie_bytes_to_gpu += nbytes
+        self._events.emit(PcieRead(nbytes=nbytes, stream=True))
         return nbytes / self._config.pcie_bw
 
     def read_time(self, nbytes: int, n_warps: int = 1) -> float:
@@ -115,7 +112,7 @@ class PcieModel:
         if nbytes <= 0:
             return 0.0
         cfg = self._config
-        self._stats.pcie_bytes_to_gpu += nbytes
+        self._events.emit(PcieRead(nbytes=nbytes))
         n_tx = max(1, nbytes // cfg.pcie_tx_bytes)
         concurrency = max(1, min(n_warps * cfg.pcie_outstanding_per_warp,
                                  cfg.pcie_max_outstanding))

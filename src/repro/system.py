@@ -48,6 +48,11 @@ class System:
         return self.machine.stats
 
     @property
+    def events(self):
+        """The machine's hardware event bus (see :mod:`repro.sim.events`)."""
+        return self.machine.events
+
+    @property
     def eadr(self) -> bool:
         return self.machine.eadr
 

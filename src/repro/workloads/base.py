@@ -34,6 +34,7 @@ from ..gpu.memory import DeviceArray
 from ..host.cap import CapEngine, CapMode
 from ..host.filesystem import PmFile
 from ..host.gpufs import GpuFs, GpufsUnsupported
+from ..sim.events import WindowMark
 from ..sim.stats import MachineStats, WindowedStats
 from ..system import System
 
@@ -93,8 +94,15 @@ class RunResult:
 
 
 def make_system(mode: Mode) -> System:
-    """A fresh platform appropriate for the mode (eADR where projected)."""
-    return System(eadr=mode.needs_eadr)
+    """A fresh platform appropriate for the mode (eADR where projected).
+
+    Reads ``repro.sim.config.DEFAULT_CONFIG`` dynamically so ablations that
+    swap the module-level default build the machine they asked for (the
+    experiments runner keys its result cache on the same object).
+    """
+    from ..sim import config as _config
+
+    return System(config=_config.DEFAULT_CONFIG, eadr=mode.needs_eadr)
 
 
 class ModeDriver:
@@ -270,10 +278,19 @@ class PersistentBuffer:
 
 
 def measure(system: System, fn, *args, **kwargs):
-    """Run ``fn`` and return ``(its result, WindowedStats over the call)``."""
+    """Run ``fn`` and return ``(its result, WindowedStats over the call)``.
+
+    The window boundaries are also announced on the event bus, so windowed
+    event consumers (:class:`~repro.sim.trace.ProfileSink`) agree exactly
+    with the stats delta returned here.
+    """
     before = system.stats.snapshot()
     t0 = system.clock.now
-    out = fn(*args, **kwargs)
+    system.events.emit(WindowMark(phase="begin", label=getattr(fn, "__name__", "")))
+    try:
+        out = fn(*args, **kwargs)
+    finally:
+        system.events.emit(WindowMark(phase="end", label=getattr(fn, "__name__", "")))
     window = WindowedStats(
         stats=system.stats.delta_since(before), elapsed=system.clock.now - t0
     )

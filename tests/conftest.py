@@ -6,6 +6,20 @@ from repro import System
 from repro.sim import Machine
 
 
+@pytest.fixture(autouse=True, scope="module")
+def _clear_runner_cache():
+    """Isolate the experiments runner's result cache between test modules.
+
+    The cache is keyed by (workload, mode, config), so results are shared
+    *within* a module for speed but never leak stale state across modules
+    (e.g. after a module monkeypatches ``repro.sim.config.DEFAULT_CONFIG``).
+    """
+    from repro.experiments import runner
+
+    yield
+    runner.clear_cache()
+
+
 @pytest.fixture
 def machine() -> Machine:
     return Machine()
