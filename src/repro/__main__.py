@@ -18,6 +18,10 @@ Commands
     Run one workload while recording the hardware event bus; saves a
     replayable JSONL event log and a Chrome-trace JSON (load in
     ``chrome://tracing`` or Perfetto).  See ``docs/observability.md``.
+``check <target> [--mode MODE] [--max-frontiers N] [--frontier SPEC]``
+    Systematically crash the target at every distinct frontier, recover,
+    and verify its invariants; non-zero exit and a reproducer command on
+    any violation.  See ``docs/crash-consistency.md``.
 """
 
 from __future__ import annotations
@@ -37,6 +41,11 @@ def _cmd_list(_args) -> int:
     print("\nworkloads (python -m repro workload <name> [--mode m]):")
     for w in gpmbench_suite():
         print(f"  {w.name}")
+    from .check import CHECK_TARGETS
+
+    print("\ncheck targets (python -m repro check <target>):")
+    for name in sorted(CHECK_TARGETS):
+        print(f"  {name}")
     return 0
 
 
@@ -119,6 +128,28 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from .check import explore, make_oracle, parse_frontier
+    from .check.explorer import explore_frontier
+    from .check.report import render_single
+    from .workloads import Mode
+
+    mode = Mode(args.mode)
+    try:
+        make_oracle(args.target)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.frontier:
+        frontier = parse_frontier(args.frontier)
+        result = explore_frontier(args.target, mode.value, frontier)
+        print(render_single(args.target, mode.value, result))
+        return 0 if result.status == "ok" else 1
+    report = explore(args.target, mode, max_frontiers=args.max_frontiers,
+                     window_samples=args.window_samples, jobs=args.jobs)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -147,9 +178,25 @@ def main(argv=None) -> int:
                          "cap-eadr | gpufs")
     tr.add_argument("--out", default="reports",
                     help="directory for the JSONL + Chrome-trace files")
+    ck = sub.add_parser(
+        "check", help="systematically crash a target at every frontier")
+    ck.add_argument("target",
+                    help="prefix_sum | kvs | checkpointed-dnn | hashmap | "
+                         "ring | broken-demo")
+    ck.add_argument("--mode", default="gpm",
+                    help="persistence mode to explore (default: gpm)")
+    ck.add_argument("--max-frontiers", type=int, default=128,
+                    help="exploration budget; 0 explores every frontier")
+    ck.add_argument("--window-samples", type=int, default=3,
+                    help="thread-count samples per unfenced window")
+    ck.add_argument("--jobs", type=int, default=1,
+                    help="parallel worker processes")
+    ck.add_argument("--frontier", metavar="SPEC",
+                    help="replay one crash, e.g. event:17 or threads:113")
     args = parser.parse_args(argv)
     return {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
-            "workload": _cmd_workload, "trace": _cmd_trace}[args.command](args)
+            "workload": _cmd_workload, "trace": _cmd_trace,
+            "check": _cmd_check}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,52 @@
+"""Systematic crash-consistency checking built on the hardware event bus.
+
+The paper argues recoverability from *random* fault injection (Section 6.2,
+NVBitFI); this subsystem replaces sampling with enumeration.  A reference
+run is observed through the event bus to identify every semantically
+distinct *crash frontier* (fences, warp drain rounds, Optane epochs,
+persist-window toggles, checkpoint marks, and the unfenced thread windows
+between them); the workload is then deterministically replayed to each
+frontier, crashed there, recovered with :class:`repro.core.recovery.
+RecoveryManager`, and judged against the invariants the workload declares
+through the :class:`CrashOracle` protocol.
+
+Modules
+-------
+``frontier``   frontier taxonomy, the :class:`FrontierRecorder`, pruning
+``oracle``     the :class:`CrashOracle` protocol and invariant plumbing
+``oracles``    concrete oracles for the check targets (prefix_sum, kvs,
+               checkpointed-dnn, hashmap, ring, broken-demo)
+``explorer``   the :class:`CrashExplorer` replay loop + multiprocessing
+``report``     human-readable reports with replayable reproducer commands
+
+CLI: ``python -m repro check <target>`` (see ``docs/crash-consistency.md``).
+"""
+
+from .explorer import CrashExplorer, ExploreReport, FrontierResult, explore
+from .frontier import (
+    Frontier,
+    FrontierRecorder,
+    format_frontier,
+    parse_frontier,
+    prune_frontiers,
+)
+from .oracle import CrashOracle, InvariantCheck, InvariantVerdict, RunObservation
+from .oracles import CHECK_TARGETS, make_oracle
+
+__all__ = [
+    "CHECK_TARGETS",
+    "CrashExplorer",
+    "CrashOracle",
+    "ExploreReport",
+    "Frontier",
+    "FrontierRecorder",
+    "FrontierResult",
+    "InvariantCheck",
+    "InvariantVerdict",
+    "RunObservation",
+    "explore",
+    "format_frontier",
+    "make_oracle",
+    "parse_frontier",
+    "prune_frontiers",
+]

@@ -1,0 +1,179 @@
+"""The replay loop: crash at every frontier, recover, judge.
+
+One exploration is a pure function of ``(target, mode, frontier)`` - a
+fresh system, a deterministic replay to the frontier, ``machine.crash()``,
+:class:`~repro.core.recovery.RecoveryManager`, invariants - so frontiers
+are embarrassingly parallel.  :func:`explore_frontier` is the module-level,
+picklable unit of work the multiprocessing fan-out dispatches; it is also
+what the CLI's ``--frontier`` flag calls directly to replay one reported
+violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.crash import CrashInjector, SimulatedCrash
+from ..workloads.base import Mode
+from .frontier import Frontier, FrontierRecorder, prune_frontiers
+from .oracle import InvariantVerdict, RunObservation, normalize_invariants
+from .oracles import make_oracle
+
+#: default exploration budget per (target, mode)
+DEFAULT_MAX_FRONTIERS = 128
+
+
+@dataclass
+class FrontierResult:
+    """What happened when the target was crashed at one frontier."""
+
+    frontier: Frontier
+    status: str                      # "ok" | "violation" | "error" | "no-crash"
+    verdicts: list[InvariantVerdict] = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def failed_verdicts(self) -> list[InvariantVerdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+
+@dataclass
+class ExploreReport:
+    """Outcome of one systematic exploration."""
+
+    target: str
+    mode: Mode
+    frontiers_recorded: int
+    results: list[FrontierResult] = field(default_factory=list)
+
+    @property
+    def frontiers_explored(self) -> int:
+        return len(self.results)
+
+    @property
+    def frontiers_pruned(self) -> int:
+        return self.frontiers_recorded - len(self.results)
+
+    @property
+    def violations(self) -> list[FrontierResult]:
+        return [r for r in self.results if r.status == "violation"]
+
+    @property
+    def errors(self) -> list[FrontierResult]:
+        return [r for r in self.results if r.status in ("error", "no-crash")]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+    def describe(self) -> str:
+        from .report import render_report
+
+        return render_report(self)
+
+
+def explore_frontier(target: str, mode_value: str,
+                     frontier: Frontier) -> FrontierResult:
+    """Crash ``target`` at one frontier, recover, evaluate invariants.
+
+    Module-level and picklable (multiprocessing fan-out), and the direct
+    implementation of a ``--frontier`` reproducer: the outcome is a pure
+    function of the three arguments.
+    """
+    mode = Mode(mode_value)
+    oracle = make_oracle(target)
+    system = oracle.build_system(mode)
+    injector = CrashInjector(system.machine)
+    observation = RunObservation()
+    system.events.subscribe(observation)
+    if frontier.mechanism == "event":
+        injector.arm_at_frontier(frontier.value)
+    elif frontier.mechanism == "threads":
+        injector.arm(frontier.value)
+    else:
+        return FrontierResult(frontier, "error",
+                              error=f"unknown mechanism {frontier.mechanism!r}")
+    crashed = False
+    try:
+        oracle.execute(system, mode, injector)
+    except SimulatedCrash:
+        crashed = True
+    except Exception as exc:
+        return FrontierResult(
+            frontier, "error",
+            error=f"run raised {type(exc).__name__}: {exc}")
+    finally:
+        injector.disarm()
+        system.events.unsubscribe(observation)
+    if not crashed:
+        # A deterministic replay must crash where the reference run said it
+        # would; reaching completion means determinism itself broke.
+        return FrontierResult(frontier, "no-crash",
+                              error="armed frontier never fired")
+    system.machine.drop_volatile_regions()
+    try:
+        oracle.recover(system, mode)
+    except Exception as exc:
+        return FrontierResult(
+            frontier, "error",
+            error=f"recovery raised {type(exc).__name__}: {exc}")
+    try:
+        checks = normalize_invariants(
+            oracle.declare_invariants(system, mode, observation))
+    except Exception as exc:
+        return FrontierResult(
+            frontier, "error",
+            error=f"declare_invariants raised {type(exc).__name__}: {exc}")
+    verdicts = [check.evaluate() for check in checks]
+    status = "ok" if all(v.ok for v in verdicts) else "violation"
+    return FrontierResult(frontier, status, verdicts)
+
+
+class CrashExplorer:
+    """Record a target's frontiers, then crash it at every one."""
+
+    def __init__(self, target: str, mode: Mode = Mode.GPM,
+                 max_frontiers: int = DEFAULT_MAX_FRONTIERS,
+                 window_samples: int = 3, jobs: int = 1) -> None:
+        self.target = target
+        self.mode = mode
+        self.max_frontiers = max_frontiers
+        self.window_samples = window_samples
+        self.jobs = max(1, jobs)
+
+    def record(self) -> list[Frontier]:
+        """One uninjected reference run, observed end to end."""
+        oracle = make_oracle(self.target)
+        system = oracle.build_system(self.mode)
+        recorder = FrontierRecorder(window_samples=self.window_samples)
+        system.events.subscribe(recorder.observe)
+        try:
+            injector = recorder if oracle.supports_thread_injection else None
+            oracle.execute(system, self.mode, injector)
+        finally:
+            system.events.unsubscribe(recorder.observe)
+        return recorder.frontiers()
+
+    def explore(self) -> ExploreReport:
+        frontiers = self.record()
+        chosen = prune_frontiers(frontiers, self.max_frontiers)
+        args = [(self.target, self.mode.value, f) for f in chosen]
+        if self.jobs > 1 and len(chosen) > 1:
+            import multiprocessing as mp
+
+            with mp.get_context("fork").Pool(self.jobs) as pool:
+                results = pool.starmap(explore_frontier, args)
+        else:
+            results = [explore_frontier(*a) for a in args]
+        return ExploreReport(
+            target=self.target, mode=self.mode,
+            frontiers_recorded=len(frontiers), results=list(results),
+        )
+
+
+def explore(target: str, mode: Mode = Mode.GPM,
+            max_frontiers: int = DEFAULT_MAX_FRONTIERS,
+            window_samples: int = 3, jobs: int = 1) -> ExploreReport:
+    """Convenience wrapper: record + prune + explore, one call."""
+    return CrashExplorer(target, mode, max_frontiers,
+                         window_samples, jobs).explore()

@@ -1,0 +1,76 @@
+"""Human-readable exploration reports with replayable reproducers.
+
+Every violation or error line carries the exact command that replays it:
+the frontier coordinate is deterministic, so the reproducer is too.
+"""
+
+from __future__ import annotations
+
+from .explorer import ExploreReport, FrontierResult
+from .frontier import format_frontier
+
+
+def reproducer_command(target: str, mode_value: str, spec: str) -> str:
+    return (f"PYTHONPATH=src python -m repro check {target} "
+            f"--mode {mode_value} --frontier {spec}")
+
+
+def _kind_histogram(report: ExploreReport) -> str:
+    counts: dict[str, int] = {}
+    for r in report.results:
+        counts[r.frontier.kind] = counts.get(r.frontier.kind, 0) + 1
+    return ", ".join(f"{k}: {n}" for k, n in sorted(counts.items()))
+
+
+def _render_failure(report: ExploreReport, result: FrontierResult) -> list[str]:
+    lines = [f"  at {format_frontier(result.frontier)}:"]
+    if result.error:
+        lines.append(f"    {result.status}: {result.error}")
+    for v in result.failed_verdicts:
+        lines.append(f"    FAILED {v.name}: {v.detail}")
+    lines.append("    reproduce: " + reproducer_command(
+        report.target, report.mode.value, result.frontier.spec()))
+    return lines
+
+
+def render_report(report: ExploreReport) -> str:
+    """The full ``python -m repro check`` output."""
+    lines = [
+        f"crash-consistency check: {report.target} under {report.mode.value}",
+        f"  frontiers recorded  {report.frontiers_recorded}",
+        f"  frontiers explored  {report.frontiers_explored}"
+        + (f" ({report.frontiers_pruned} pruned)" if report.frontiers_pruned else ""),
+        f"  by kind             {_kind_histogram(report)}",
+    ]
+    invariant_names = sorted({v.name for r in report.results for v in r.verdicts})
+    if invariant_names:
+        lines.append("  invariants checked  " + ", ".join(invariant_names))
+    violations = report.violations
+    errors = report.errors
+    if not violations and not errors:
+        lines.append(f"PASS: zero invariant violations across "
+                     f"{report.frontiers_explored} crash states")
+        return "\n".join(lines)
+    if violations:
+        lines.append(f"VIOLATIONS ({len(violations)}):")
+        for r in violations:
+            lines.extend(_render_failure(report, r))
+    if errors:
+        lines.append(f"ERRORS ({len(errors)}):")
+        for r in errors:
+            lines.extend(_render_failure(report, r))
+    return "\n".join(lines)
+
+
+def render_single(report_target: str, mode_value: str,
+                  result: FrontierResult) -> str:
+    """Output for a ``--frontier`` single-crash replay."""
+    lines = [f"replay: {report_target} under {mode_value} "
+             f"at {format_frontier(result.frontier)}"]
+    for v in result.verdicts:
+        mark = "ok " if v.ok else "FAILED"
+        lines.append(f"  {mark} {v.name}: {v.detail}")
+    if result.error:
+        lines.append(f"  {result.status}: {result.error}")
+    lines.append("PASS" if result.status == "ok" else f"FAIL ({result.status})")
+    return "\n".join(lines)

@@ -46,6 +46,17 @@ class RecoveryReport:
     def total_elapsed(self) -> float:
         return sum(a.elapsed for a in self.actions)
 
+    def paths(self, action: str) -> list[str]:
+        """Every path the plan resolved with ``action`` (e.g. ``"skip"``)."""
+        return [a.path for a in self.actions if a.action == action]
+
+    def action_for(self, path: str) -> RecoveryAction | None:
+        """The action taken for ``path``, if the survey saw it."""
+        for a in self.actions:
+            if a.path == path:
+                return a
+        return None
+
     def describe(self) -> str:
         lines = ["recovery report:"]
         for a in self.actions:

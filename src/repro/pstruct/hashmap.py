@@ -194,6 +194,49 @@ class PersistentHashMap:
         gpmlog_clear(self._log)
         return system.machine.clock.now - start
 
+    # -- crash invariants --------------------------------------------------------
+
+    def declare_invariants(self, system=None) -> list:
+        """Structural invariants (``repro.check`` protocol).
+
+        Judged after a crash plus :meth:`recover`: the header survives, the
+        batch flag is idle, and no slot is torn (a durable key whose value
+        word is still the empty sentinel - every insert persists both words
+        in one epoch, and undo restores them pairwise).  Returns plain
+        ``(name, description, fn)`` triples, ``fn() -> (ok, detail)``.
+        """
+
+        def header_intact() -> tuple[bool, str]:
+            header = self.gpm.view(np.uint32, 0, 4)
+            if int(header[0]) != _MAGIC:
+                return False, f"magic is {int(header[0]):#x}"
+            if int(header[1]) != self.n_sets:
+                return False, f"n_sets changed to {int(header[1])}"
+            return True, "magic and geometry intact"
+
+        def flag_idle() -> tuple[bool, str]:
+            if self._flag.active:
+                return False, "batch flag still active after recovery"
+            return True, "batch flag idle"
+
+        def no_torn_slots() -> tuple[bool, str]:
+            keys = self._keys.np_persisted
+            values = self._values.np_persisted
+            torn = np.flatnonzero((keys != 0) & (values == 0))
+            if torn.size:
+                return False, f"{torn.size} durable keys lost their values"
+            return True, "every durable key carries its durable value"
+
+        return [
+            ("hashmap-header-intact",
+             "the map header survives any crash", header_intact),
+            ("hashmap-flag-idle",
+             "the batch transaction flag is idle after recovery", flag_idle),
+            ("hashmap-no-torn-slots",
+             "key and value words of a slot are never torn apart",
+             no_torn_slots),
+        ]
+
     # -- queries ---------------------------------------------------------------
 
     def get(self, key: int, durable: bool = False) -> int | None:

@@ -122,6 +122,53 @@ class PersistentRing:
         horizon = max(committed) + 1 if committed else 0
         return [t for t in range(horizon) if t not in committed]
 
+    def declare_invariants(self, system=None) -> list:
+        """Structural invariants (``repro.check`` protocol).
+
+        Judged after a crash plus :meth:`recover`: the header survives,
+        committed sequence words are well-formed (each names a ticket below
+        the reserved horizon, no two slots claim the same ticket), and the
+        cursor sits past every committed record so future appends cannot
+        overwrite history.  Returns ``(name, description, fn)`` triples.
+        """
+
+        def header_intact() -> tuple[bool, str]:
+            header = self.gpm.view(np.uint32, 0, 2)
+            if int(header[0]) != _MAGIC:
+                return False, f"magic is {int(header[0]):#x}"
+            if int(header[1]) != self.capacity:
+                return False, f"capacity changed to {int(header[1])}"
+            return True, "magic and capacity intact"
+
+        def sequence_words_valid() -> tuple[bool, str]:
+            committed = self.committed(durable=True)
+            tickets = [t for t, _ in committed]
+            if len(set(tickets)) != len(tickets):
+                return False, "two slots claim the same ticket"
+            bad = [t for t in tickets if not 0 <= t < self.capacity]
+            if bad:
+                return False, f"tickets out of range: {bad[:4]}"
+            return True, f"{len(tickets)} committed records, all well-formed"
+
+        def cursor_past_committed() -> tuple[bool, str]:
+            committed = self.committed(durable=True)
+            horizon = max((t for t, _ in committed), default=-1) + 1
+            if self.reserved() < horizon:
+                return False, (f"cursor {self.reserved()} lags committed "
+                               f"horizon {horizon}: appends would overwrite")
+            return True, f"cursor {self.reserved()} >= horizon {horizon}"
+
+        return [
+            ("ring-header-intact",
+             "the ring header survives any crash", header_intact),
+            ("ring-sequence-words-valid",
+             "committed sequence words are unique and in range",
+             sequence_words_valid),
+            ("ring-cursor-past-committed",
+             "the recovered cursor never lets appends overwrite history",
+             cursor_past_committed),
+        ]
+
     def recover(self) -> int:
         """Repair the cursor after a crash; returns the next free ticket.
 

@@ -56,6 +56,15 @@ class Event:
     """Base class of all hardware events (see module docstring)."""
 
     etype = "event"
+    #: Crash-frontier taxonomy bucket (``repro.check``), a class attribute
+    #: like ``etype``: events marking a semantically distinct persistency
+    #: boundary carry a non-``None`` kind here, and the ordinal position of
+    #: such events within a run is the deterministic coordinate system for
+    #: frontier-armed crash injection
+    #: (:meth:`repro.sim.crash.CrashInjector.arm_at_frontier`).  ``None``
+    #: means crashing on the event can never change what a post-crash
+    #: reader observes (pure metering, reads, lifecycle bookkeeping).
+    frontier_kind = None
 
 
 # -- GPU ---------------------------------------------------------------------
@@ -67,6 +76,7 @@ class KernelLaunch(Event):
     """A kernel entered the GPU pipeline (any flavour of launch)."""
 
     etype = "kernel_launch"
+    frontier_kind = "kernel-launch"
     kind: str = "kernel"  # kernel | stream_copy | scatter | compute | inline
 
 
@@ -76,6 +86,7 @@ class SystemFence(Event):
     """``count`` system-scope fences (__threadfence_system) completed."""
 
     etype = "system_fence"
+    frontier_kind = "fence"
     count: int = 1
 
 
@@ -90,6 +101,7 @@ class WarpDrain(Event):
     """
 
     etype = "warp_drain"
+    frontier_kind = "warp-drain"
     region: str = ""
     round_no: int = 0
     segments: int = 0
@@ -142,6 +154,7 @@ class DmaTransfer(Event):
     """One bulk DMA (cudaMemcpy-style) crossing the link."""
 
     etype = "dma_transfer"
+    frontier_kind = "dma"
     nbytes: int = 0
     to_gpu: bool = False
     initiated: bool = True
@@ -161,6 +174,7 @@ class OptaneEpoch(Event):
     """
 
     etype = "optane_epoch"
+    frontier_kind = "optane-epoch"
     region: str = ""
     logical_bytes: int = 0
     media_bytes: int = 0
@@ -184,6 +198,7 @@ class BackgroundPersist(Event):
     """An eADR-domain background drain (durable at the LLC, free in time)."""
 
     etype = "background_persist"
+    frontier_kind = "optane-epoch"
     region: str = ""
     nbytes: int = 0
 
@@ -217,6 +232,7 @@ class LlcFlush(Event):
     """``lines`` dirty lines were explicitly flushed (CLFLUSHOPT path)."""
 
     etype = "llc_flush"
+    frontier_kind = "cpu-flush"
     region: str = ""
     lines: int = 0
 
@@ -227,6 +243,7 @@ class DdioToggle(Event):
     """DDIO was switched (the paper's ``perfctrlsts_0`` write)."""
 
     etype = "ddio_toggle"
+    frontier_kind = "persist-window"
     enabled: bool = True
 
 
@@ -324,6 +341,7 @@ class TraceMark(Event):
     """Free-form software annotation (checkpoint phases, log lifecycles)."""
 
     etype = "trace_mark"
+    frontier_kind = "mark"
     category: str = ""
     label: str = ""
 

@@ -105,6 +105,25 @@ def make_system(mode: Mode) -> System:
     return System(config=_config.DEFAULT_CONFIG, eadr=mode.needs_eadr)
 
 
+class CrashConsistent:
+    """Protocol for crash-consistency checking (``repro.check``).
+
+    A workload or persistent structure states its crash invariants by
+    overriding :meth:`declare_invariants`, returning plain
+    ``(name, description, fn)`` triples where ``fn() -> (ok, detail)``
+    judges the *recovered* state.  Triples keep the protocol
+    dependency-free: implementors never import from ``repro.check``; the
+    checker normalizes them into its typed form.  Invariants are evaluated
+    after a simulated crash and :class:`~repro.core.recovery.RecoveryManager`
+    recovery, so they should read durable state (``durable_view`` /
+    ``np_persisted``) and be guarded against files the crash predates
+    (``system.fs.exists``).
+    """
+
+    def declare_invariants(self, system) -> list:
+        return []
+
+
 class ModeDriver:
     """Realises one persistence mode for one workload run."""
 

@@ -22,7 +22,15 @@ from __future__ import annotations
 
 from ..core.checkpoint import Gpmcp, gpmcp_create
 from ..gpu.memory import DeviceArray
-from .base import Category, Mode, ModeDriver, RunResult, make_system, measure
+from .base import (
+    Category,
+    CrashConsistent,
+    Mode,
+    ModeDriver,
+    RunResult,
+    make_system,
+    measure,
+)
 
 
 class CheckpointTarget:
@@ -92,7 +100,7 @@ class CheckpointTarget:
         return system.clock.now - start
 
 
-class CheckpointedWorkload:
+class CheckpointedWorkload(CrashConsistent):
     """Template for the iterative, checkpointing GPMbench workloads.
 
     Subclasses define :meth:`setup` (allocate device state, return the
@@ -114,6 +122,30 @@ class CheckpointedWorkload:
 
     def compute_iteration(self, system, iteration: int) -> None:
         raise NotImplementedError
+
+    # -- crash invariants ----------------------------------------------------
+
+    def declare_invariants(self, system) -> list:
+        """Structural gpmcp invariants: the double buffer stays readable."""
+        path = f"/pm/{self.name.lower()}.cp"
+
+        def selector_valid() -> tuple[bool, str]:
+            if not system.fs.exists(path):
+                return True, "crash predates the checkpoint file"
+            from ..core.checkpoint import gpmcp_open
+
+            cp = gpmcp_open(system, path)
+            for group in range(cp.groups):
+                sel = cp._selector(group)
+                if sel not in (0, 1):
+                    return False, f"group {group} selector is {sel}"
+            return True, "every group selector names a valid copy"
+
+        return [
+            (f"{self.name.lower()}-cp-selector-valid",
+             "the checkpoint selector always names one of the two copies",
+             selector_valid),
+        ]
 
     # -- driver ----------------------------------------------------------------
 

@@ -36,7 +36,15 @@ from ..core.logging import (
 )
 from ..core.transactions import TransactionFlag
 from ..gpu.memory import DeviceArray
-from .base import Category, Mode, ModeDriver, RunResult, make_system, measure
+from .base import (
+    Category,
+    CrashConsistent,
+    Mode,
+    ModeDriver,
+    RunResult,
+    make_system,
+    measure,
+)
 
 _MASK64 = (1 << 64) - 1
 #: Undo-log entry: [set u32, way u32, old_key u64, old_value u64]
@@ -203,7 +211,7 @@ class KvsConfig:
     log_partitions: int = 64
 
 
-class GpKvs:
+class GpKvs(CrashConsistent):
     """The gpKVS workload runner."""
 
     name = "gpKVS"
@@ -404,6 +412,73 @@ class GpKvs:
             gpmlog_clear(log)
         system.machine.free(hbm)
         return present_before
+
+    # -- crash invariants -----------------------------------------------------------
+
+    def apply_batch_reference(self, keys_np: np.ndarray, values_np: np.ndarray,
+                              batch_keys, batch_vals) -> None:
+        """Apply one SET batch to host-side table arrays, in place.
+
+        Mirrors :func:`set_kernel`'s slot choice exactly (match, then first
+        empty way, then pseudo-random eviction) in thread order, which is
+        the engine's deterministic execution order - so committed batches
+        replayed through this function predict the durable table bit for
+        bit.  Used by the crash checker to compute per-batch reference
+        snapshots.
+        """
+        cfg = self.config
+        for key, value in zip(batch_keys.tolist(), batch_vals.tolist()):
+            base = (hash64(int(key)) % cfg.n_sets) * cfg.ways
+            row = keys_np[base:base + cfg.ways]
+            loc = -1
+            for w in range(cfg.ways):
+                if int(row[w]) == key:
+                    loc = w
+                    break
+            if loc < 0:
+                for w in range(cfg.ways):
+                    if int(row[w]) == 0:
+                        loc = w
+                        break
+            if loc < 0:
+                loc = hash64(int(key) ^ 0x9E3779B97F4A7C15) % cfg.ways
+            keys_np[base + loc] = key
+            values_np[base + loc] = value
+
+    def declare_invariants(self, system) -> list:
+        """Structural gpKVS invariants over the recovered store."""
+
+        def flag_idle() -> tuple[bool, str]:
+            if not system.fs.exists("/pm/gpkvs.flag"):
+                return True, "crash predates the transaction flag"
+            flag = TransactionFlag.open(system, "/pm/gpkvs.flag")
+            if flag.active:
+                return False, "transaction flag still active after recovery"
+            return True, "transaction flag idle"
+
+        def table_intact() -> tuple[bool, str]:
+            # Keys and values pair up: a durable key slot never has its
+            # value torn away (each SET persists both words in one epoch).
+            if not system.fs.exists("/pm/gpkvs.table"):
+                return True, "crash predates the table"
+            from ..core.mapping import gpm_map
+
+            cfg = self.config
+            n_pairs = cfg.n_sets * cfg.ways
+            table = gpm_map(system, "/pm/gpkvs.table")
+            keys = table.region.persisted_view(np.uint64, 0, n_pairs)
+            values = table.region.persisted_view(np.uint64, n_pairs * 8, n_pairs)
+            torn = np.flatnonzero((keys != 0) & (values == 0))
+            if torn.size:
+                return False, f"{torn.size} slots have a key but no value"
+            return True, "no torn key/value slots"
+
+        return [
+            ("kvs-flag-idle",
+             "the batch transaction flag is idle after recovery", flag_idle),
+            ("kvs-table-intact",
+             "durable keys always carry their durable values", table_intact),
+        ]
 
     # -- recovery -------------------------------------------------------------------
 

@@ -21,7 +21,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..gpu.memory import DeviceArray
-from .base import Category, Mode, ModeDriver, RunResult, make_system, measure
+from .base import (
+    Category,
+    CrashConsistent,
+    Mode,
+    ModeDriver,
+    RunResult,
+    make_system,
+    measure,
+)
 
 EMPTY = 0
 _HEADER_BYTES = 128
@@ -86,7 +94,7 @@ class PrefixSumConfig:
     seed: int = 31
 
 
-class PrefixSum:
+class PrefixSum(CrashConsistent):
     """The PS workload runner."""
 
     name = "PS"
@@ -170,6 +178,66 @@ class PrefixSum:
         # Post-kernel persistence for the CPU-assisted modes.
         buf.persist_range(self._psum_off(), 2 * 8 * cfg.n)
         system.machine.free(hbm)
+
+    def declare_invariants(self, system) -> list:
+        """Fig. 8's recovery contract, as checkable predicates.
+
+        The sentinel discipline promises: if a block's *last* slot is
+        non-EMPTY in the durable image, every slot of that block is durable
+        and correct.  Checked for both the partial-sums and the final-sums
+        arrays against the deterministic reference scan.  Only meaningful
+        after a crash during :meth:`run` on the same instance (``self``
+        holds the inputs the crashed run used).
+        """
+        cfg = self.config
+
+        def sentinel_implies_block() -> tuple[bool, str]:
+            bad = []
+            for a, data in enumerate(self._inputs):
+                path = f"/pm/ps{a}.state"
+                if not system.fs.exists(path):
+                    continue  # crash predates the buffer
+                buf = self._state[2][a]
+                psum_ref = (data.reshape(-1, cfg.block_dim)
+                            .cumsum(axis=1).reshape(-1))
+                out_ref = np.cumsum(data)
+                for label, off, ref in (("psum", self._psum_off(), psum_ref),
+                                        ("out", self._out_off(), out_ref)):
+                    durable = buf.durable_view(np.int64, off, cfg.n)
+                    for blk in range(cfg.n // cfg.block_dim):
+                        lo, hi = blk * cfg.block_dim, (blk + 1) * cfg.block_dim
+                        if int(durable[hi - 1]) == EMPTY:
+                            continue
+                        if not np.array_equal(durable[lo:hi], ref[lo:hi]):
+                            bad.append(f"ps{a}.{label} block {blk}")
+            if bad:
+                return False, "sentinel present but block torn: " + ", ".join(bad)
+            return True, "every sentinelled block is complete and correct"
+
+        def resume_completes() -> tuple[bool, str]:
+            # Line 3 of Fig. 8: a re-run skips completed blocks and
+            # recomputes the rest; afterwards the scan must be exact.
+            if not system.fs.exists("/pm/ps0.state"):
+                return True, "crash predates the buffer; nothing to resume"
+            from .base import PersistentBuffer
+
+            driver = ModeDriver(system, Mode.GPM)
+            for a, data in enumerate(self._inputs):
+                buf = PersistentBuffer.reopen(driver, f"/pm/ps{a}.state")
+                self._scan_one(driver, buf, data, None)
+                got = buf.visible_view(np.int64, self._out_off(), cfg.n)
+                if not np.array_equal(got, np.cumsum(data)):
+                    return False, f"resumed scan of ps{a} is wrong"
+            return True, "resumed run produced the exact scan"
+
+        return [
+            ("ps-sentinel-implies-block",
+             "a durable last-thread value implies the whole block is durable",
+             sentinel_implies_block),
+            ("ps-resume-completes",
+             "re-running after the crash completes the scan exactly",
+             resume_completes),
+        ]
 
     def verify(self) -> bool:
         """Final sums must equal the host-side inclusive scan."""

@@ -86,7 +86,69 @@ class TestGenericRecovery:
         assert "consistent" in actions["/pm/cp"].detail
 
 
+class TestEdgeCases:
+    def test_unknown_structure_reported_not_touched(self, system):
+        blob = system.fs.create("/pm/blob", 4096)
+        blob.region.write_bytes(0, [0x5A] * 64)
+        blob.region.persist_range(0, 64)
+        report = RecoveryManager(system).run()
+        action = report.action_for("/pm/blob")
+        assert action.action == "skip"
+        assert action.detail == "unrecognised contents"
+        assert "/pm/blob" in report.paths("skip")
+        assert blob.region.persisted_view(np.uint8, 0, 1)[0] == 0x5A
+
+    def test_empty_log_with_idle_flag_skipped(self, system):
+        gpmlog_create_hcl(system, "/pm/idle.log", 1 << 20, 1, 32)
+        TransactionFlag.create(system, "/pm/idle.flag")
+        report = RecoveryManager(system).run()
+        assert report.action_for("/pm/idle.log").action == "skip"
+        assert report.action_for("/pm/idle.log").detail == "empty"
+
+    def test_orphan_log_with_entries_truncated(self, system):
+        # entries but no sibling flag at all: committed leftovers
+        log = gpmlog_create_hcl(system, "/pm/orphan.log", 1 << 20, 1, 32)
+
+        def k(ctx, log):
+            gpmlog_insert(ctx, log, np.uint32(9))
+
+        with persist_window(system):
+            system.gpu.launch(k, 1, 32, (log,))
+        system.crash()
+        report = RecoveryManager(system).run()
+        assert report.action_for("/pm/orphan.log").action == "truncate-stale-log"
+
+    def test_action_for_unseen_path(self, system):
+        assert RecoveryManager(system).run().action_for("/pm/ghost") is None
+
+
 class TestHandlers:
+    def test_handler_precedence_over_generic_rules(self, system):
+        # a registered prefix handler claims a hashmap (and its siblings)
+        # before the generic hashmap-undo rule can touch it
+        pmap = PersistentHashMap.create(system, "/pm/mine", capacity=512)
+        inj = CrashInjector(system.machine)
+        inj.arm(8)
+        with pytest.raises(SimulatedCrash):
+            pmap.insert_batch(np.arange(1, 33, dtype=np.uint64),
+                              np.arange(1, 33, dtype=np.uint64),
+                              crash_injector=inj)
+        claimed = []
+
+        def handler(sys_, file_report):
+            claimed.append(file_report.path)
+            return 0.0
+
+        manager = RecoveryManager(system)
+        manager.register_handler("/pm/mine", handler)
+        report = manager.run()
+        assert "/pm/mine" in claimed
+        assert report.action_for("/pm/mine").action == "handler"
+        assert "hashmap-undo" not in {a.action for a in report.actions}
+        # siblings match the prefix too: the handler owns all three files
+        assert report.action_for("/pm/mine.flag").action == "handler"
+        assert report.action_for("/pm/mine.log").action == "handler"
+
     def test_handler_claims_prefix(self, system):
         log = gpmlog_create_hcl(system, "/pm/custom.log", 1 << 20, 1, 32)
         seen = []

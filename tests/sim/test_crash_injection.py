@@ -73,3 +73,65 @@ class TestFiring:
         with pytest.raises(SimulatedCrash):
             inj.advance(5)
         assert machine.crash_count == 2
+
+
+class TestReplayMetadata:
+    def test_crash_carries_armed_point(self, machine):
+        inj = CrashInjector(machine)
+        inj.arm(3)
+        with pytest.raises(SimulatedCrash) as exc:
+            inj.advance(7)
+        assert exc.value.crash_after == 3
+        assert exc.value.seed is None
+        assert exc.value.frontier_ordinal is None
+
+    def test_seeded_arm_random_is_replayable(self, machine):
+        inj = CrashInjector(machine, np.random.default_rng(1))
+        point = inj.arm_random(1000, seed=42)
+        assert CrashInjector(machine).arm_random(1000, seed=42) == point
+        with pytest.raises(SimulatedCrash) as exc:
+            inj.advance(point + 1)
+        assert exc.value.seed == 42
+        assert exc.value.crash_after == point
+
+
+class TestFrontierArming:
+    def test_fires_on_nth_frontier_event(self, machine):
+        from repro.sim.events import HbmWrite, SystemFence
+
+        inj = CrashInjector(machine)
+        inj.arm_at_frontier(1)
+        machine.events.emit(SystemFence())       # ordinal 0: no crash
+        machine.events.emit(HbmWrite(nbytes=8))  # untagged: not counted
+        with pytest.raises(SimulatedCrash) as exc:
+            machine.events.emit(SystemFence())   # ordinal 1: crash
+        assert exc.value.frontier_ordinal == 1
+        assert exc.value.frontier_kind == "fence"
+        assert machine.crash_count == 1
+
+    def test_crash_precedes_side_effect(self, machine):
+        # the crash fires during emission: an unpersisted write present when
+        # the frontier event is emitted is lost, exactly like a real power cut
+        pm = machine.alloc_pm("p", 64)
+        pm.write_bytes(0, [1] * 8)
+        from repro.sim.events import WarpDrain
+
+        inj = CrashInjector(machine)
+        inj.arm_at_frontier(0)
+        with pytest.raises(SimulatedCrash):
+            machine.events.emit(WarpDrain())
+        assert not pm.visible.any()
+
+    def test_disarm_unsubscribes(self, machine):
+        from repro.sim.events import SystemFence
+
+        inj = CrashInjector(machine)
+        inj.arm_at_frontier(0)
+        inj.disarm()
+        machine.events.emit(SystemFence())  # no crash
+        assert machine.crash_count == 0
+        assert not inj.armed
+
+    def test_negative_ordinal_rejected(self, machine):
+        with pytest.raises(ValueError):
+            CrashInjector(machine).arm_at_frontier(-1)

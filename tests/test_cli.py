@@ -36,3 +36,34 @@ class TestCli:
     def test_workload_bad_mode(self):
         with pytest.raises(ValueError):
             main(["workload", "PS", "--mode", "warp-drive"])
+
+
+class TestCheckCli:
+    def test_list_includes_check_targets(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "check targets" in out
+        assert "broken-demo" in out
+
+    def test_check_clean_target_exits_zero(self, capsys):
+        assert main(["check", "ring", "--max-frontiers", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS: zero invariant violations" in out
+        assert "frontiers explored" in out
+
+    def test_check_broken_target_exits_nonzero_with_reproducer(self, capsys):
+        assert main(["check", "broken-demo"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATIONS" in out
+        assert "reproduce: PYTHONPATH=src python -m repro check broken-demo" in out
+
+    def test_check_single_frontier_replay(self, capsys):
+        assert main(["check", "broken-demo", "--frontier", "event:4"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL (violation)" in out
+        assert main(["check", "ring", "--frontier", "event:0"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_check_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["check", "nope"])
