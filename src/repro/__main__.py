@@ -10,7 +10,14 @@ Commands
     Regenerate one or more artefacts by name, print them, and save
     ``reports/out_<name>.txt``.
 ``all``
-    Regenerate everything (a few minutes).
+    Regenerate everything.  ``--jobs N`` fans the simulations over N fork
+    workers; results are served from the persistent cache under
+    ``~/.cache/repro`` (``--cache-dir`` moves it, ``--no-cache`` disables
+    it) so repeat invocations are near-instant.  See
+    ``docs/performance.md``.
+``bench``
+    Time the experiment engine (cold sequential vs cold parallel vs warm
+    cache) and write ``BENCH_experiments.json``.
 ``workload <name> [--mode MODE]``
     Run one GPMbench workload under one persistence mode and report its
     simulated time and traffic.
@@ -57,9 +64,26 @@ def _resolve(name: str):
     raise SystemExit(f"unknown artefact {name!r}; see `python -m repro list`")
 
 
+def _setup_engine(args) -> None:
+    """Apply the shared ``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags."""
+    from .experiments import ResultCache, set_default_jobs, set_disk_cache
+
+    set_default_jobs(getattr(args, "jobs", 1) or 1)
+    if getattr(args, "no_cache", False):
+        set_disk_cache(None)
+    else:
+        set_disk_cache(ResultCache(getattr(args, "cache_dir", None)))
+
+
 def _cmd_run(args) -> int:
+    from .experiments import prefetch, requests_for, run_artefact
+
+    _setup_engine(args)
     for name in args.names:
-        table = _resolve(name)()
+        _resolve(name)
+    prefetch(requests_for(args.names))
+    for name in args.names:
+        table = run_artefact(name)
         path = table.save(args.reports)
         print(table.to_text())
         if args.bars:
@@ -74,7 +98,25 @@ def _cmd_run(args) -> int:
 def _cmd_all(args) -> int:
     from .experiments import run_all
 
-    run_all(directory=args.reports, verbose=True)
+    _setup_engine(args)
+    run_all(directory=args.reports, verbose=True, jobs=args.jobs)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .experiments.bench import run_bench
+
+    record = run_bench(jobs=args.jobs, smoke=args.smoke,
+                       artefacts=args.artefacts, out=args.out,
+                       cache_dir=args.cache_dir)
+    print(f"artefacts          {len(record['artefacts'])} "
+          f"({record['runs']} engine runs)")
+    print(f"cold sequential    {record['cold_sequential_s']:.3f} s")
+    print(f"cold parallel x{record['jobs']}  {record['cold_parallel_s']:.3f} s "
+          f"({record['parallel_speedup']}x)")
+    print(f"warm cache         {record['warm_s']:.3f} s "
+          f"({100 * record['warm_over_cold']:.1f}% of cold)")
+    print(f"saved {args.out}")
     return 0
 
 
@@ -157,6 +199,15 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list artefacts and workloads")
+    def engine_flags(p, default_jobs=1):
+        p.add_argument("--jobs", type=int, default=default_jobs,
+                       help="parallel worker processes for the simulations")
+        p.add_argument("--cache-dir", default=None,
+                       help="persistent result cache directory "
+                            "(default: ~/.cache/repro or $REPRO_CACHE_DIR)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="do not read or write the persistent cache")
+
     run = sub.add_parser("run", help="regenerate named artefacts")
     run.add_argument("names", nargs="+")
     run.add_argument("--reports", default="reports")
@@ -164,8 +215,22 @@ def main(argv=None) -> int:
                      help="also render an ASCII bar chart of COLUMN")
     run.add_argument("--log", action="store_true",
                      help="log-scale the bar chart")
+    engine_flags(run)
     allp = sub.add_parser("all", help="regenerate everything")
     allp.add_argument("--reports", default="reports")
+    engine_flags(allp)
+    bench = sub.add_parser(
+        "bench", help="time the engine: cold vs parallel vs warm cache")
+    bench.add_argument("--jobs", type=int, default=2,
+                       help="pool width for the parallel leg")
+    bench.add_argument("--smoke", action="store_true",
+                       help="bench only a small artefact subset (CI)")
+    bench.add_argument("--artefacts", nargs="+", default=None,
+                       help="explicit artefact names to bench")
+    bench.add_argument("--out", default="BENCH_experiments.json")
+    bench.add_argument("--cache-dir", default=None,
+                       help="reuse this cache directory for the warm legs "
+                            "(default: a throw-away temp dir)")
     wl = sub.add_parser("workload", help="run one workload under one mode")
     wl.add_argument("name")
     wl.add_argument("--mode", default="gpm",
@@ -195,8 +260,8 @@ def main(argv=None) -> int:
                     help="replay one crash, e.g. event:17 or threads:113")
     args = parser.parse_args(argv)
     return {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
-            "workload": _cmd_workload, "trace": _cmd_trace,
-            "check": _cmd_check}[args.command](args)
+            "bench": _cmd_bench, "workload": _cmd_workload,
+            "trace": _cmd_trace, "check": _cmd_check}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -2,7 +2,11 @@
 
 Each module produces :class:`~repro.experiments.results.ExperimentTable`
 objects that render to the tab-separated ``out_*.txt`` files the paper's
-artifact emits.  :func:`run_all` regenerates everything into ``reports/``.
+artifact emits.  :func:`run_all` regenerates everything into ``reports/``,
+prefetching the union of every artefact's engine-served runs (see
+:mod:`~repro.experiments.runner`) so the expensive simulation work is
+deduplicated, disk-cached, and - with ``jobs > 1`` - fanned out over a
+fork pool before the tables are assembled.
 """
 
 from .ablations import (
@@ -12,6 +16,7 @@ from .ablations import (
     log_entry_size_sweep,
     warp_coalescing_ablation,
 )
+from .diskcache import ResultCache, table_from_record, table_to_record
 from .figure1 import figure1a, figure1b
 from .figure3 import cpu_persist_time, figure3, gpu_persist_throughput
 from .figure9 import figure9
@@ -19,7 +24,21 @@ from .figure10 import eadr_summary, figure10
 from .figure11 import figure11a, figure11b
 from .figure12 import figure12, pattern_microbenchmark
 from .results import ExperimentTable
-from .runner import clear_cache, run_workload, workload_names
+from .runner import (
+    RunRequest,
+    clear_cache,
+    get_default_jobs,
+    get_disk_cache,
+    modes_matrix,
+    prefetch,
+    run_workload,
+    run_workload_profiled,
+    run_workloads_parallel,
+    set_default_jobs,
+    set_disk_cache,
+    workload_names,
+    _current_config,
+)
 from .multigpu import multi_gpu_scaling
 
 
@@ -82,11 +101,100 @@ ALL_EXPERIMENTS = {
 }
 
 
-def run_all(directory: str = "reports", verbose: bool = True) -> dict[str, ExperimentTable]:
-    """Regenerate every figure/table; saves out_*.txt files; returns tables."""
+def requests_for(names) -> list[RunRequest]:
+    """The deduplicated union of engine-served runs the artefacts consume.
+
+    Artefact functions advertise their batch via a ``required_runs``
+    attribute; artefacts without one (the bespoke microbenchmarks) simply
+    contribute nothing and run their own simulations when built.
+    """
+    out: list[RunRequest] = []
+    seen: set[RunRequest] = set()
+    for name in names:
+        getter = getattr(ALL_EXPERIMENTS[name], "required_runs", None)
+        if getter is None:
+            continue
+        for req in getter():
+            if req not in seen:
+                seen.add(req)
+                out.append(req)
+    return out
+
+
+def _build_record(name: str) -> dict:
+    """Build one artefact; return its serialized table.
+
+    Module-level and picklable: the unit of work ``run_all`` dispatches to
+    fork-pool workers.  Workers inherit the parent's warm run memo (the
+    prefetch happens before the fork), and run single-job themselves -
+    daemonic pool workers cannot fork grandchildren.
+    """
+    set_default_jobs(1)
+    return table_to_record(ALL_EXPERIMENTS[name]())
+
+
+def run_artefact(name: str) -> ExperimentTable:
+    """Build one named artefact, via the persistent table cache if enabled."""
+    cache = get_disk_cache()
+    config = _current_config()
+    if cache is not None:
+        cached = cache.load_table(name, config)
+        if cached is not None:
+            return cached
+    table = ALL_EXPERIMENTS[name]()
+    if cache is not None:
+        cache.store_table(name, config, table)
+    return table
+
+
+def run_all(directory: str = "reports", verbose: bool = True,
+            jobs: int | None = None, names=None) -> dict[str, ExperimentTable]:
+    """Regenerate every figure/table; saves out_*.txt files; returns tables.
+
+    ``jobs > 1`` fans the work over fork-pool workers in two waves: first
+    the union of the artefacts' engine-served runs (the expensive
+    simulations, deduplicated), then the table assembly for artefacts the
+    persistent table cache cannot already answer.  Output is bit-identical
+    to a sequential run - the simulation is deterministic and results
+    cross the pool as exact serialized payloads.
+    """
+    names = list(names) if names is not None else list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown artefacts: {', '.join(unknown)}")
+    jobs = get_default_jobs() if jobs is None else max(1, int(jobs))
+    cache = get_disk_cache()
+    config = _current_config()
+
+    tables: dict[str, ExperimentTable] = {}
+    if cache is not None:
+        for name in names:
+            cached = cache.load_table(name, config)
+            if cached is not None:
+                tables[name] = cached
+    pending = [n for n in names if n not in tables]
+
+    if pending:
+        # Warm the run memo before forking the table builders, so every
+        # worker inherits the full result set and no run executes twice.
+        prefetch(requests_for(pending), jobs=jobs)
+        if jobs > 1 and len(pending) > 1:
+            import multiprocessing as mp
+
+            with mp.get_context("fork").Pool(min(jobs, len(pending))) as pool:
+                records = pool.map(_build_record, pending, chunksize=1)
+            for name, record in zip(pending, records):
+                tables[name] = table_from_record(record)
+        else:
+            for name in pending:
+                tables[name] = ALL_EXPERIMENTS[name]()
+        if cache is not None:
+            for name in pending:
+                cache.store_table(name, config, tables[name])
+
     out = {}
-    for name, fn in ALL_EXPERIMENTS.items():
-        table = fn()
+    for name in names:
+        table = tables[name]
         table.save(directory)
         if verbose:
             print(table.to_text())
@@ -102,6 +210,8 @@ __all__ = [
     "log_entry_size_sweep",
     "warp_coalescing_ablation",
     "ExperimentTable",
+    "ResultCache",
+    "RunRequest",
     "checkpoint_frequency",
     "clear_cache",
     "cpu_only_db",
@@ -116,12 +226,20 @@ __all__ = [
     "figure11b",
     "figure12",
     "gpu_persist_throughput",
+    "modes_matrix",
     "pattern_microbenchmark",
     "multi_gpu_scaling",
     "persistence_profile",
+    "prefetch",
+    "requests_for",
     "run_all",
+    "run_artefact",
     "run_workload",
+    "run_workload_profiled",
+    "run_workloads_parallel",
     "sensitivity_sweep",
+    "set_default_jobs",
+    "set_disk_cache",
     "table4",
     "table5",
     "workload_names",

@@ -1,0 +1,90 @@
+"""Wall-clock benchmark of the experiment engine.
+
+Three legs, each building the same artefact set through :func:`run_all`
+into throw-away report directories:
+
+1. **cold sequential** - no disk cache, one process: the pre-engine
+   baseline;
+2. **cold parallel** - a fresh cache directory, ``jobs`` fork workers:
+   what the fan-out buys on first contact;
+3. **warm** - the same cache directory again: what the persistent cache
+   buys on every later invocation (expected well under 10% of cold).
+
+The in-process memo is cleared between legs so each one pays its own
+costs; the engine's prior configuration (disk cache, default jobs) is
+restored afterwards.  Results land in ``BENCH_experiments.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from ..version import __version__
+from . import ALL_EXPERIMENTS, requests_for, run_all
+from .diskcache import ResultCache
+from .runner import (
+    clear_cache,
+    get_default_jobs,
+    get_disk_cache,
+    set_default_jobs,
+    set_disk_cache,
+)
+
+#: Two cheap artefacts exercising both the run engine and the table cache;
+#: what ``python -m repro bench --smoke`` (and CI) measures.
+SMOKE_ARTEFACTS = ["figure12", "table4"]
+
+
+def _leg(names: list[str], directory: str, jobs: int) -> float:
+    clear_cache()
+    start = time.perf_counter()
+    run_all(directory=directory, verbose=False, jobs=jobs, names=names)
+    return time.perf_counter() - start
+
+
+def run_bench(jobs: int = 2, smoke: bool = False,
+              artefacts: list[str] | None = None,
+              out: str = "BENCH_experiments.json",
+              cache_dir: str | None = None) -> dict:
+    """Measure the three legs; write and return the benchmark record."""
+    if artefacts:
+        names = list(artefacts)
+    else:
+        names = SMOKE_ARTEFACTS if smoke else list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown artefacts: {', '.join(unknown)}")
+
+    prev_cache, prev_jobs = get_disk_cache(), get_default_jobs()
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            cache_root = cache_dir or os.path.join(tmp, "cache")
+            set_disk_cache(None)
+            cold_seq = _leg(names, os.path.join(tmp, "seq"), jobs=1)
+            set_disk_cache(ResultCache(cache_root))
+            cold_par = _leg(names, os.path.join(tmp, "par"), jobs=jobs)
+            warm = _leg(names, os.path.join(tmp, "warm"), jobs=jobs)
+    finally:
+        set_disk_cache(prev_cache)
+        set_default_jobs(prev_jobs)
+        clear_cache()
+
+    record = {
+        "version": __version__,
+        "jobs": jobs,
+        "smoke": bool(smoke),
+        "artefacts": names,
+        "runs": len(requests_for(names)),
+        "cold_sequential_s": round(cold_seq, 3),
+        "cold_parallel_s": round(cold_par, 3),
+        "warm_s": round(warm, 3),
+        "parallel_speedup": round(cold_seq / cold_par, 3) if cold_par else None,
+        "warm_over_cold": round(warm / cold_seq, 4) if cold_seq else None,
+    }
+    with open(out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    return record

@@ -13,7 +13,18 @@ from ..baselines import CpuBfs, CpuPrefixSum, CpuSrad, MatrixKvStore, PmemKvStor
 from ..system import System
 from ..workloads import GraphBfs, Mode, PrefixSum, Srad
 from .results import ExperimentTable
-from .runner import run_workload
+from .runner import RunRequest, prefetch, run_workload
+
+
+def figure1a_required_runs():
+    """The engine-served runs figure 1a consumes."""
+    return [RunRequest("gpKVS", Mode.GPM)]
+
+
+def figure1b_required_runs():
+    """The engine-served runs figure 1b consumes."""
+    return [RunRequest(cls.name, Mode.GPM)
+            for cls in (GraphBfs, Srad, PrefixSum)]
 
 
 def figure1a() -> ExperimentTable:
@@ -22,6 +33,7 @@ def figure1a() -> ExperimentTable:
         "figure1a", "Figure 1a: throughput of persistent KVS (SETs)",
         ["system", "throughput_mops", "gpm_speedup", "paper_speedup"],
     )
+    prefetch(figure1a_required_runs())
     gpm = run_workload("gpKVS", Mode.GPM).extras["throughput_ops_per_s"]
     paper = {"Intel PmemKV": 2.7, "RocksDB-PM": 5.8, "MatrixKV": 3.1}
     for cls in (PmemKvStore, RocksDbStore, MatrixKvStore):
@@ -38,6 +50,7 @@ def figure1b() -> ExperimentTable:
         "figure1b", "Figure 1b: GPM speedup over CPU PM applications",
         ["workload", "cpu_ms", "gpm_ms", "speedup", "paper_speedup"],
     )
+    prefetch(figure1b_required_runs())
     pairs = [
         (GraphBfs, CpuBfs, 27.0),
         (Srad, CpuSrad, 19.2),
@@ -48,3 +61,7 @@ def figure1b() -> ExperimentTable:
         cpu = cpu_cls(System()).run()
         table.add(workload_cls.name, cpu * 1e3, gpm * 1e3, cpu / gpm, paper)
     return table
+
+
+figure1a.required_runs = figure1a_required_runs
+figure1b.required_runs = figure1b_required_runs

@@ -16,10 +16,17 @@ from __future__ import annotations
 
 from ..workloads import Mode
 from .results import ExperimentTable
-from .runner import run_workload, workload_names
+from .runner import modes_matrix, prefetch, run_workload, workload_names
+
+
+def required_runs():
+    """The deduplicated batch of runs this figure consumes."""
+    return modes_matrix(Mode.CAP_FS, Mode.GPM_NDP, Mode.GPM, Mode.GPM_EADR,
+                        Mode.CAP_EADR)
 
 
 def figure10() -> ExperimentTable:
+    prefetch(required_runs())
     table = ExperimentTable(
         "figure10", "Figure 10: GPM variants and eADR projection (speedup over CAP-fs)",
         ["workload", "gpm_ndp", "gpm", "gpm_eadr", "cap_eadr"],
@@ -53,3 +60,6 @@ def eadr_summary(table: ExperimentTable | None = None) -> dict:
         "max_eadr_over_gpm": max(ratios_eadr),        # paper: up to 13x
         "avg_gpm_eadr_over_cap_eadr": sum(ratios_vs_cap) / n,  # paper: 24x avg
     }
+
+
+figure10.required_runs = required_runs

@@ -18,7 +18,7 @@ import numpy as np
 from ..sim.machine import Machine
 from ..workloads import Mode
 from .results import ExperimentTable
-from .runner import run_workload, workload_names
+from .runner import modes_matrix, prefetch, run_workload, workload_names
 
 #: GB/s bars read off the paper's Fig. 12 (approximate).
 PAPER_BW_GBPS = {
@@ -56,7 +56,13 @@ def pattern_microbenchmark() -> ExperimentTable:
     return table
 
 
+def required_runs():
+    """The deduplicated batch of runs this figure consumes."""
+    return modes_matrix(Mode.GPM)
+
+
 def figure12() -> ExperimentTable:
+    prefetch(required_runs())
     table = ExperimentTable(
         "figure12", "Figure 12: PCIe write bandwidth with GPM (GB/s)",
         ["workload", "gbps", "paper_gbps"],
@@ -76,3 +82,6 @@ def figure12() -> ExperimentTable:
         "reproduced result"
     )
     return table
+
+
+figure12.required_runs = required_runs

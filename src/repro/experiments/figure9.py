@@ -12,7 +12,7 @@ from __future__ import annotations
 from ..host.gpufs import GpufsUnsupported
 from ..workloads import Mode
 from .results import ExperimentTable
-from .runner import run_workload, workload_names
+from .runner import modes_matrix, prefetch, run_workload, workload_names
 
 #: Approximate bar heights read off the paper's Fig. 9, for shape checks.
 PAPER_GPM_SPEEDUP = {
@@ -22,7 +22,13 @@ PAPER_GPM_SPEEDUP = {
 }
 
 
+def required_runs():
+    """The deduplicated batch of runs this figure consumes."""
+    return modes_matrix(Mode.CAP_FS, Mode.CAP_MM, Mode.GPM, Mode.GPUFS)
+
+
 def figure9() -> ExperimentTable:
+    prefetch(required_runs())
     table = ExperimentTable(
         "figure9", "Figure 9: speedup over CAP-fs",
         ["workload", "cap_mm", "gpm", "gpufs", "paper_gpm"],
@@ -38,3 +44,6 @@ def figure9() -> ExperimentTable:
         table.add(name, cap_mm, gpm, gpufs, PAPER_GPM_SPEEDUP[name])
     table.notes.append("(*) workload unsupported by GPUfs, as in the paper")
     return table
+
+
+figure9.required_runs = required_runs

@@ -25,10 +25,16 @@ from __future__ import annotations
 
 from ..workloads import Mode
 from .results import ExperimentTable
-from .runner import run_workload_profiled, workload_names
+from .runner import modes_matrix, prefetch, run_workload_profiled, workload_names
+
+
+def required_runs():
+    """The deduplicated batch of profiled runs this table consumes."""
+    return modes_matrix(Mode.GPM, profiled=True)
 
 
 def persistence_profile() -> ExperimentTable:
+    prefetch(required_runs())
     table = ExperimentTable(
         "profile",
         "Persistence profile of GPMbench under GPM (WHISPER-style)",
@@ -53,3 +59,6 @@ def persistence_profile() -> ExperimentTable:
         "bytes with extreme kernel counts"
     )
     return table
+
+
+persistence_profile.required_runs = required_runs

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ..workloads import Mode
 from .results import ExperimentTable
-from .runner import run_workload, workload_names
+from .runner import modes_matrix, prefetch, run_workload, workload_names
 
 PAPER_WA = {
     "gpKVS": 39.38, "gpKVS (95:5)": 39.38, "gpDB (I)": 1.27, "gpDB (U)": 19.88,
@@ -21,7 +21,13 @@ PAPER_WA = {
 }
 
 
+def required_runs():
+    """The deduplicated batch of runs this table consumes."""
+    return modes_matrix(Mode.GPM, Mode.CAP_MM)
+
+
 def table4() -> ExperimentTable:
+    prefetch(required_runs())
     table = ExperimentTable(
         "table4", "Table 4: write amplification of CAP-mm over GPM",
         ["workload", "gpm_bytes", "cap_bytes", "write_amplification", "paper_wa"],
@@ -38,3 +44,6 @@ def table4() -> ExperimentTable:
         "restricted per-level transfers to the new data"
     )
     return table
+
+
+table4.required_runs = required_runs

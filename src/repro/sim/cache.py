@@ -119,7 +119,13 @@ class LastLevelCache:
                 head_lengths.append(length)
         if head_starts:
             self._optane.write_epoch(region, head_starts, head_lengths)
-            self._events.emit(LlcEvict(lines=len(head_starts)))
+            # A write-through segment spans every cache line it touches, not
+            # one line per segment.
+            lines = sum(
+                (start + length - 1) // self._line - start // self._line + 1
+                for start, length in zip(head_starts, head_lengths)
+            )
+            self._events.emit(LlcEvict(lines=lines))
         return np.asarray(keep_starts, dtype=np.int64), np.asarray(keep_lengths, dtype=np.int64)
 
     def _evict_over_capacity(self) -> None:

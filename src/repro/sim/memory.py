@@ -28,6 +28,7 @@ Volatile regions have only a ``visible`` image, which is poisoned on crash.
 from __future__ import annotations
 
 import enum
+import itertools
 
 import numpy as np
 
@@ -53,12 +54,19 @@ class Region:
     directly.
     """
 
+    #: Monotonic identity tokens.  Unlike ``id()``, a token is never reused
+    #: after a region is freed, so stream-tracking consumers (e.g. the
+    #: Optane sequentiality heuristic) cannot alias a dead region with a
+    #: new allocation that happens to land at the same address.
+    _tokens = itertools.count(1)
+
     def __init__(self, name: str, size: int, kind: MemKind) -> None:
         if size <= 0:
             raise ValueError(f"region size must be positive, got {size}")
         self.name = name
         self.size = size
         self.kind = kind
+        self.token = next(Region._tokens)
         self.visible = np.zeros(size, dtype=np.uint8)
         self.persisted = np.zeros(size, dtype=np.uint8) if kind is MemKind.PM else None
         #: Set when a crash wiped this (volatile) region's contents.

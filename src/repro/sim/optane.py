@@ -66,8 +66,12 @@ class OptaneModel:
         self._events = events
         self._line = config.pm_xpline_bytes
         self._line_time = self._line / config.pm_bw_seq_aligned
-        #: (region id, XPLine index) of the last write, for cross-epoch
+        #: (region token, XPLine index) of the last write, for cross-epoch
         #: sequentiality; line indices are only comparable within a region.
+        #: The token is :attr:`Region.token` - monotonic and never reused -
+        #: rather than ``id()``, whose values CPython recycles after a free,
+        #: which would let a cold stream to a new region masquerade as a
+        #: sequential continuation of a dead one.
         self._last_line: int | None = None
         self._last_region: int | None = None
 
@@ -104,7 +108,7 @@ class OptaneModel:
         # Sequentiality: the first line of each run is sequential iff it is
         # the same as, or immediately follows, the previously written line.
         prev_last = np.empty(run_starts.size, dtype=np.int64)
-        same_stream = self._last_region == id(region) and self._last_line is not None
+        same_stream = self._last_region == region.token and self._last_line is not None
         prev_last[0] = self._last_line if same_stream else -(10**9)
         prev_last[1:] = last_lines[:-1]
         seq_start = (first_lines == prev_last) | (first_lines == prev_last + 1)
@@ -118,7 +122,7 @@ class OptaneModel:
         ) * self._line_time
 
         self._last_line = int(last_lines[-1])
-        self._last_region = id(region)
+        self._last_region = region.token
         self._events.emit(OptaneEpoch(
             region=region.name, logical_bytes=logical_bytes,
             media_bytes=total_touches * self._line, segments=run_starts.size,
@@ -149,7 +153,7 @@ class OptaneModel:
         if random:
             per_touch *= self._config.pm_random_penalty
         self._last_line = (offset + size - 1) // self._line
-        self._last_region = id(region)
+        self._last_region = region.token
         time = touches * per_touch
         self._events.emit(OptaneEpoch(
             region=region.name, logical_bytes=size,
@@ -173,7 +177,7 @@ class OptaneModel:
         region.persist_ranges(line_starts, lengths)
         xlines = line_starts // self._line
         prev = np.empty(xlines.size, dtype=np.int64)
-        same_stream = self._last_region == id(region) and self._last_line is not None
+        same_stream = self._last_region == region.token and self._last_line is not None
         prev[0] = self._last_line if same_stream else -(10**9)
         prev[1:] = xlines[:-1]
         seq = (xlines == prev) | (xlines == prev + 1)
@@ -181,7 +185,7 @@ class OptaneModel:
         touches = line_starts.size
         time = (touches + n_random * (self._config.pm_random_penalty - 1.0)) * self._line_time
         self._last_line = int(xlines[-1])
-        self._last_region = id(region)
+        self._last_region = region.token
         self._events.emit(OptaneEpoch(
             region=region.name, logical_bytes=int(lengths.sum()),
             media_bytes=touches * self._line, segments=touches,

@@ -95,7 +95,8 @@ class PcieModel:
             return 0.0
         cfg = self._config
         self._events.emit(PcieWrite(
-            nbytes=nbytes, transactions=max(1, nbytes // cfg.pcie_tx_bytes),
+            nbytes=nbytes,
+            transactions=-(-nbytes // cfg.pcie_tx_bytes),
             stream=True,
         ))
         return nbytes / cfg.pcie_bw
@@ -113,7 +114,9 @@ class PcieModel:
             return 0.0
         cfg = self._config
         self._events.emit(PcieRead(nbytes=nbytes))
-        n_tx = max(1, nbytes // cfg.pcie_tx_bytes)
+        # Ceiling division, as in transactions_for: a transfer that is not a
+        # multiple of the 128 B payload still occupies a full transaction.
+        n_tx = -(-nbytes // cfg.pcie_tx_bytes)
         concurrency = max(1, min(n_warps * cfg.pcie_outstanding_per_warp,
                                  cfg.pcie_max_outstanding))
         return max(n_tx * cfg.pcie_rtt_s / concurrency, nbytes / cfg.pcie_bw)

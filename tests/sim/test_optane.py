@@ -160,6 +160,49 @@ class TestFlushLines:
         assert machine.optane.flush_lines(r, np.array([], dtype=np.int64), 64) == 0.0
 
 
+class TestStreamIdentity:
+    """The sequentiality heuristic must key streams by :attr:`Region.token`
+    (never reused), not ``id()`` (recycled by the allocator).  Regression:
+    a new region allocated where a dead one lived could masquerade as a
+    sequential continuation of the dead region's stream."""
+
+    def test_tokens_are_unique_across_realloc(self, machine):
+        r1 = machine.alloc_pm("x", 4096)
+        token1 = r1.token
+        machine.free(r1)
+        del r1
+        r2 = machine.alloc_pm("x", 4096)
+        assert r2.token != token1
+        assert r2.token > token1
+
+    def test_freed_and_reallocated_region_is_cold(self, machine):
+        from repro.sim import DEFAULT_CONFIG as cfg
+
+        line_time = cfg.pm_xpline_bytes / cfg.pm_bw_seq_aligned
+        cold = cfg.pm_random_penalty * line_time
+        # Repeat to give CPython every chance to hand the new Region the
+        # dead one's id(); under token keying the continuation write must
+        # price as a cold random start every single time.
+        for _ in range(32):
+            r = machine.alloc_pm("alias", 4096)
+            machine.optane.write_epoch(r, [0], [256])
+            machine.free(r)
+            del r
+            r2 = machine.alloc_pm("alias", 4096)
+            t = machine.optane.write_epoch(r2, [256], [256])
+            assert t == pytest.approx(cold)
+            machine.free(r2)
+            del r2
+
+    def test_same_region_continuation_still_warm(self, machine):
+        from repro.sim import DEFAULT_CONFIG
+
+        line_time = DEFAULT_CONFIG.pm_xpline_bytes / DEFAULT_CONFIG.pm_bw_seq_aligned
+        r = machine.alloc_pm("x", 4096)
+        machine.optane.write_epoch(r, [0], [256])
+        assert machine.optane.write_epoch(r, [256], [256]) == pytest.approx(line_time)
+
+
 class TestRead:
     def test_read_time_positive_and_counted(self, machine):
         t = machine.optane.read(4096)

@@ -69,6 +69,27 @@ class TestFineGrainedWrites:
         assert t100 == pytest.approx(t200)  # both beyond pcie_max_outstanding
 
 
+class TestReadTransactionRounding:
+    """A read that is not a multiple of 128 B still occupies whole
+    transactions (regression: floor division undercounted by one)."""
+
+    def test_129_bytes_costs_two_transactions(self, machine):
+        cfg = DEFAULT_CONFIG
+        conc = cfg.pcie_outstanding_per_warp
+        t = machine.pcie.read_time(129, n_warps=1)
+        assert t == pytest.approx(max(2 * cfg.pcie_rtt_s / conc,
+                                      129 / cfg.pcie_bw))
+
+    def test_partial_transaction_rounds_up(self, machine):
+        assert machine.pcie.read_time(129) == pytest.approx(
+            machine.pcie.read_time(256))
+        assert machine.pcie.read_time(129) > machine.pcie.read_time(128)
+
+    def test_sub_transaction_read_costs_one(self, machine):
+        assert machine.pcie.read_time(1) == pytest.approx(
+            machine.pcie.read_time(128))
+
+
 class TestStreaming:
     def test_stream_write_is_bandwidth_bound(self, machine):
         nbytes = 13 << 20
@@ -85,3 +106,10 @@ class TestStreaming:
     def test_stream_read(self, machine):
         assert machine.pcie.stream_read_time(0) == 0.0
         assert machine.pcie.stream_read_time(13_000_000) == pytest.approx(1e-3)
+
+    def test_stream_write_event_rounds_transactions_up(self, machine):
+        events = []
+        machine.events.subscribe(lambda t, e: events.append(e))
+        machine.pcie.stream_write_time(129)
+        (ev,) = [e for e in events if type(e).__name__ == "PcieWrite"]
+        assert ev.transactions == 2

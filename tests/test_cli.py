@@ -38,6 +38,41 @@ class TestCli:
             main(["workload", "PS", "--mode", "warp-drive"])
 
 
+class TestEngineCli:
+    def test_run_with_jobs_and_cache_dir(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["run", "figure12_patterns", "--reports",
+                     str(tmp_path / "r1"), "--jobs", "2",
+                     "--cache-dir", str(cache)]) == 0
+        first = capsys.readouterr().out
+        assert cache.exists()  # the table landed in the persistent cache
+        assert main(["run", "figure12_patterns", "--reports",
+                     str(tmp_path / "r2"), "--cache-dir", str(cache)]) == 0
+        second = capsys.readouterr().out
+        assert first.replace("r1", "") == second.replace("r2", "")
+
+    def test_run_no_cache_writes_nothing(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["run", "figure12_patterns", "--reports",
+                     str(tmp_path / "r"), "--no-cache",
+                     "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert not cache.exists()
+
+    def test_bench_writes_record(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_experiments.json"
+        assert main(["bench", "--artefacts", "figure12_patterns",
+                     "--jobs", "2", "--out", str(out)]) == 0
+        capsys.readouterr()
+        import json
+
+        record = json.loads(out.read_text())
+        assert record["artefacts"] == ["figure12_patterns"]
+        assert record["cold_sequential_s"] > 0
+        assert record["warm_s"] < record["cold_sequential_s"]
+        assert record["jobs"] == 2
+
+
 class TestCheckCli:
     def test_list_includes_check_targets(self, capsys):
         assert main(["list"]) == 0
