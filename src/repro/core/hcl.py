@@ -185,6 +185,52 @@ class HclLog:
         ctx.store(region, self._tail_offset(slot), tail + chunks.size, np.uint32)
         ctx.persist()
 
+    def insert_warp(self, wctx, chunks: np.ndarray, lanes=None) -> None:
+        """Warp-vectorized :meth:`insert`: one equal-sized entry per lane.
+
+        ``chunks`` is a ``(k, n)`` uint32 array - entry chunks for each of
+        the ``k`` participating lanes.  The per-chunk-index store batches
+        land at the same lane-strided offsets as ``k`` scalar inserts, so
+        the warp's stores of chunk ``c`` still merge into one 128 B line,
+        and the two persists (entry, then tail) keep the same rounds.
+        """
+        chunks = np.atleast_2d(np.asarray(chunks, dtype=np.uint32))
+        sel = wctx.active(lanes)
+        k, n = chunks.shape
+        if k != sel.size:
+            raise GpmError(f"{k} entries for {sel.size} participating lanes")
+        if (wctx.block_id >= self.blocks
+                or wctx.block_dim > self.threads_per_block):
+            raise GpmError(
+                f"kernel geometry exceeds log geometry "
+                f"({self.blocks}x{self.threads_per_block})"
+            )
+        thread_flats = wctx.thread_flats[sel]
+        warp_flat = wctx.block_id * self.warps_per_block + wctx.warp_in_block
+        lane_ids = thread_flats % _WARP
+        slots = wctx.block_id * self.threads_per_block + thread_flats
+        region = self.gpm.region
+        tail_offs = self.tails_offset + slots.astype(np.int64) * 4
+        tails = wctx.load(region, tail_offs, np.uint32).astype(np.int64)
+        if int(tails.max()) + n > self.chunks_per_thread:
+            slot = int(slots[int(np.argmax(tails))])
+            raise LogFull(
+                f"thread slot {slot}: {int(tails.max())}+{n} chunks exceed "
+                f"capacity {self.chunks_per_thread}"
+            )
+        warp_base = self.data_offset + warp_flat * self.chunks_per_thread * _STRIPE
+        for c in range(n):
+            if self.striped:
+                offs = warp_base + (tails + c) * _STRIPE + lane_ids * _CHUNK
+            else:
+                offs = (warp_base + lane_ids * self.chunks_per_thread * _CHUNK
+                        + (tails + c) * _CHUNK)
+            wctx.store(region, offs, chunks[:, c], np.uint32, lanes=sel)
+        wctx.persist(sel)
+        wctx.store(region, tail_offs, (tails + n).astype(np.uint32), np.uint32,
+                   lanes=sel)
+        wctx.persist(sel)
+
     def read(self, ctx: ThreadContext, entry_bytes: int) -> np.ndarray:
         """Read the calling thread's most recent entry (as uint8)."""
         n = chunks_needed(entry_bytes)

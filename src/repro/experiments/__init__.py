@@ -26,9 +26,13 @@ from .figure12 import figure12, pattern_microbenchmark
 from .results import ExperimentTable
 from .runner import (
     RunRequest,
+    adopt_config,
     clear_cache,
+    drain_run_timings,
+    effective_jobs,
     get_default_jobs,
     get_disk_cache,
+    install_memo,
     modes_matrix,
     prefetch,
     run_workload,
@@ -36,6 +40,9 @@ from .runner import (
     run_workloads_parallel,
     set_default_jobs,
     set_disk_cache,
+    shared_pool,
+    shutdown_pool,
+    snapshot_memo,
     workload_names,
     _current_config,
 )
@@ -121,15 +128,20 @@ def requests_for(names) -> list[RunRequest]:
     return out
 
 
-def _build_record(name: str) -> dict:
+def _build_record(name: str, config=None, memo=None) -> dict:
     """Build one artefact; return its serialized table.
 
     Module-level and picklable: the unit of work ``run_all`` dispatches to
-    fork-pool workers.  Workers inherit the parent's warm run memo (the
-    prefetch happens before the fork), and run single-job themselves -
-    daemonic pool workers cannot fork grandchildren.
+    fork-pool workers.  The shared pool's workers may have been forked
+    before the prefetch executed, so the active config and the warm run
+    memo arrive with the task rather than via fork inheritance.  Workers
+    run single-job themselves - daemonic pool workers cannot fork
+    grandchildren.
     """
     set_default_jobs(1)
+    adopt_config(config)
+    if memo:
+        install_memo(memo)
     return table_to_record(ALL_EXPERIMENTS[name]())
 
 
@@ -162,7 +174,7 @@ def run_all(directory: str = "reports", verbose: bool = True,
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown artefacts: {', '.join(unknown)}")
-    jobs = get_default_jobs() if jobs is None else max(1, int(jobs))
+    jobs = effective_jobs(get_default_jobs() if jobs is None else int(jobs))
     cache = get_disk_cache()
     config = _current_config()
 
@@ -175,14 +187,16 @@ def run_all(directory: str = "reports", verbose: bool = True,
     pending = [n for n in names if n not in tables]
 
     if pending:
-        # Warm the run memo before forking the table builders, so every
-        # worker inherits the full result set and no run executes twice.
-        prefetch(requests_for(pending), jobs=jobs)
+        # Warm the run memo, then ship it with each table-builder task so
+        # no run executes twice.  Both waves draw on the one shared pool -
+        # fork startup is paid once per process, not twice per batch.
+        requests = requests_for(pending)
+        prefetch(requests, jobs=jobs)
         if jobs > 1 and len(pending) > 1:
-            import multiprocessing as mp
-
-            with mp.get_context("fork").Pool(min(jobs, len(pending))) as pool:
-                records = pool.map(_build_record, pending, chunksize=1)
+            memo = snapshot_memo(requests)
+            records = shared_pool(jobs).starmap(
+                _build_record, [(name, config, memo) for name in pending],
+                chunksize=1)
             for name, record in zip(pending, records):
                 tables[name] = table_from_record(record)
         else:
@@ -212,6 +226,13 @@ __all__ = [
     "ExperimentTable",
     "ResultCache",
     "RunRequest",
+    "adopt_config",
+    "drain_run_timings",
+    "effective_jobs",
+    "install_memo",
+    "shared_pool",
+    "shutdown_pool",
+    "snapshot_memo",
     "checkpoint_frequency",
     "clear_cache",
     "cpu_only_db",

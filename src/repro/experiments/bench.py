@@ -27,6 +27,8 @@ from . import ALL_EXPERIMENTS, requests_for, run_all
 from .diskcache import ResultCache
 from .runner import (
     clear_cache,
+    drain_run_timings,
+    effective_jobs,
     get_default_jobs,
     get_disk_cache,
     set_default_jobs,
@@ -38,11 +40,46 @@ from .runner import (
 SMOKE_ARTEFACTS = ["figure12", "table4"]
 
 
-def _leg(names: list[str], directory: str, jobs: int) -> float:
+def _leg(names: list[str], directory: str, jobs: int) -> dict:
     clear_cache()
+    drain_run_timings()  # discard anything a previous caller left behind
     start = time.perf_counter()
     run_all(directory=directory, verbose=False, jobs=jobs, names=names)
-    return time.perf_counter() - start
+    wall = time.perf_counter() - start
+    runs = sorted(drain_run_timings(),
+                  key=lambda r: r["wall_s"], reverse=True)
+    return {
+        "wall_s": round(wall, 3),
+        "runs_executed": len(runs),
+        "runs_wall_s": round(sum(r["wall_s"] for r in runs), 3),
+        "runs_detail": runs,
+    }
+
+
+def execution_lanes() -> dict[str, str]:
+    """Which execution lane each converted workload's kernels actually take.
+
+    Probes small configurations of the warp-converted workloads under GPM
+    and reports the lane of their last launch.  CI fails the smoke bench
+    if any entry silently regresses to ``"scalar"`` - the vectorized lane
+    disengaging is a performance bug that no correctness test would catch.
+    """
+    from ..workloads.base import Mode
+    from ..workloads.binomial import BinomialConfig, BinomialOptions
+    from ..workloads.kvs import GpKvs, KvsConfig
+    from ..workloads.prefix_sum import PrefixSum, PrefixSumConfig
+
+    probes = {
+        "PS": PrefixSum(PrefixSumConfig(n=1024, block_dim=256)),
+        "KVS": GpKvs(KvsConfig(n_sets=256, batch_size=128, set_batches=1)),
+        "BINO": BinomialOptions(BinomialConfig(n_options=8, steps=16,
+                                               block_dim=32)),
+    }
+    lanes = {}
+    for name, workload in probes.items():
+        workload.run(Mode.GPM)
+        lanes[name] = workload._last_lane
+    return lanes
 
 
 def run_bench(jobs: int = 2, smoke: bool = False,
@@ -63,26 +100,35 @@ def run_bench(jobs: int = 2, smoke: bool = False,
         with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
             cache_root = cache_dir or os.path.join(tmp, "cache")
             set_disk_cache(None)
-            cold_seq = _leg(names, os.path.join(tmp, "seq"), jobs=1)
+            seq = _leg(names, os.path.join(tmp, "seq"), jobs=1)
             set_disk_cache(ResultCache(cache_root))
-            cold_par = _leg(names, os.path.join(tmp, "par"), jobs=jobs)
+            par = _leg(names, os.path.join(tmp, "par"), jobs=jobs)
             warm = _leg(names, os.path.join(tmp, "warm"), jobs=jobs)
+        lanes = execution_lanes()
     finally:
         set_disk_cache(prev_cache)
         set_default_jobs(prev_jobs)
         clear_cache()
 
+    cold_seq, cold_par, warm_s = seq["wall_s"], par["wall_s"], warm["wall_s"]
     record = {
         "version": __version__,
         "jobs": jobs,
+        "effective_jobs": effective_jobs(jobs),
         "smoke": bool(smoke),
         "artefacts": names,
         "runs": len(requests_for(names)),
-        "cold_sequential_s": round(cold_seq, 3),
-        "cold_parallel_s": round(cold_par, 3),
-        "warm_s": round(warm, 3),
+        "cold_sequential_s": cold_seq,
+        "cold_parallel_s": cold_par,
+        "warm_s": warm_s,
         "parallel_speedup": round(cold_seq / cold_par, 3) if cold_par else None,
-        "warm_over_cold": round(warm / cold_seq, 4) if cold_seq else None,
+        "warm_over_cold": round(warm_s / cold_seq, 4) if cold_seq else None,
+        "execution_lanes": lanes,
+        "legs": {
+            "cold_sequential": seq,
+            "cold_parallel": par,
+            "warm": warm,
+        },
     }
     with open(out, "w") as fh:
         json.dump(record, fh, indent=2)

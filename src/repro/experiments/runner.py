@@ -34,6 +34,9 @@ exception (re-raising one shared instance would mutate its
 
 from __future__ import annotations
 
+import atexit
+import os
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -91,6 +94,14 @@ _default_jobs: int = 1
 #: Section 4.3 binomial counter-example), registered by their consumers.
 _extra_workloads: dict[str, Callable[[], object]] = {}
 
+#: Wall-clock of every fresh (non-cached) run executed since the last
+#: :func:`drain_run_timings` - the attribution trail the bench records.
+_run_timings: list[dict] = []
+
+#: The engine's persistent fork pool (see :func:`shared_pool`).
+_pool = None
+_pool_width = 0
+
 
 # --------------------------------------------------------------------------
 # engine configuration
@@ -115,6 +126,73 @@ def set_default_jobs(jobs: int) -> None:
 
 def get_default_jobs() -> int:
     return _default_jobs
+
+
+def effective_jobs(jobs: int) -> int:
+    """Clamp a requested pool width to the CPUs actually available.
+
+    The simulation is pure Python compute, so forking more workers than
+    cores strictly loses: on a 1-core host the smoke bench's 2-worker cold
+    leg ran at 0.90x sequential - all contention and fork overhead, no
+    parallelism.  A clamped width of 1 skips the pool entirely.
+    """
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        cores = os.cpu_count() or 1
+    return max(1, min(int(jobs), cores))
+
+
+def shared_pool(jobs: int):
+    """The engine's persistent fork pool, reused across waves and calls.
+
+    Fork-pool startup used to be paid twice per ``run_all`` (once for the
+    prefetch wave, once for the table builders) and again on every later
+    batch; on the smoke bench that overhead alone pushed the parallel leg
+    *slower* than sequential.  Workers never rely on fork-time state: runs
+    always execute fresh (:func:`_execute`) and table builders receive the
+    run memo and the active config explicitly, so one long-lived pool is
+    safe to share.
+    """
+    global _pool, _pool_width
+    jobs = max(2, int(jobs))
+    if _pool is not None and _pool_width != jobs:
+        shutdown_pool()
+    if _pool is None:
+        import multiprocessing as mp
+
+        _pool = mp.get_context("fork").Pool(jobs)
+        _pool_width = jobs
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared fork pool (no-op when none is live)."""
+    global _pool, _pool_width
+    if _pool is not None:
+        _pool.terminate()
+        _pool.join()
+        _pool = None
+        _pool_width = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def drain_run_timings() -> list[dict]:
+    """Return (and clear) the per-run wall-clock entries recorded so far."""
+    out = list(_run_timings)
+    _run_timings.clear()
+    return out
+
+
+def _note_timing(req: RunRequest, payload: dict) -> None:
+    wall = payload.get("wall_s")
+    if wall is not None:
+        _run_timings.append({
+            "workload": req.workload, "mode": req.mode.value,
+            "profiled": req.profiled, "wall_s": round(float(wall), 3),
+        })
 
 
 def register_workload(name: str, factory: Callable[[], object]) -> None:
@@ -147,26 +225,45 @@ def _fresh(name: str):
 # --------------------------------------------------------------------------
 
 
-def _execute(workload: str, mode_value: str, profiled: bool) -> dict:
+def adopt_config(config: SystemConfig | None) -> None:
+    """Make ``config`` the active machine configuration (``None``: keep).
+
+    Pool tasks ship the caller's config explicitly because the shared fork
+    pool outlives the fork point: a worker's inherited ``DEFAULT_CONFIG``
+    can predate an ablation's swap.
+    """
+    if config is not None and config != _config.DEFAULT_CONFIG:
+        _config.DEFAULT_CONFIG = config
+
+
+def _execute(workload: str, mode_value: str, profiled: bool,
+             config: SystemConfig | None = None) -> dict:
     """Run one workload fresh; return its serialized payload.
 
     Module-level and picklable: this is the unit of work the fork pool
     dispatches (the same pattern as ``repro.check.explorer``).  Returning
     payloads rather than live objects keeps the parallel and sequential
-    paths on one serialization, so their results cannot diverge.
+    paths on one serialization, so their results cannot diverge.  The
+    payload carries the run's wall-clock (``wall_s``) so the bench can
+    attribute regressions to individual runs.
     """
+    adopt_config(config)
     mode = Mode(mode_value)
+    start = time.perf_counter()
     try:
         if profiled:
             sink = ProfileSink()
             with record_events(sink):
                 result = _fresh(workload).run(mode)
             return {"result": result_to_record(result),
-                    "profile": profile_to_record(sink.summary)}
+                    "profile": profile_to_record(sink.summary),
+                    "wall_s": time.perf_counter() - start}
         result = _fresh(workload).run(mode)
-        return {"result": result_to_record(result)}
+        return {"result": result_to_record(result),
+                "wall_s": time.perf_counter() - start}
     except GpufsUnsupported as exc:
-        return {"unsupported": exc.reason}
+        return {"unsupported": exc.reason,
+                "wall_s": time.perf_counter() - start}
 
 
 def _memo_satisfies(req: RunRequest, config: SystemConfig) -> bool:
@@ -200,9 +297,44 @@ def _obtain(req: RunRequest) -> None:
             _install_payload(req, config, payload)
             return
     payload = _execute(req.workload, req.mode.value, req.profiled)
+    _note_timing(req, payload)
     _install_payload(req, config, payload)
     if _disk_cache is not None:
         _disk_cache.store_run(req.workload, req.mode, req.profiled, config, payload)
+
+
+def snapshot_memo(requests: Iterable) -> list[tuple]:
+    """Serialize the memo entries answering ``requests`` for pool shipment.
+
+    The table-builder wave used to depend on forking *after* the prefetch
+    so workers inherited the warm memo; with the shared pool the fork may
+    predate the runs, so the memo travels with the task instead.
+    """
+    config = _current_config()
+    out: list[tuple] = []
+    for req in _normalize(requests):
+        key = (req.workload, req.mode, config)
+        if req.profiled and key in _profile_cache:
+            result, prof = _profile_cache[key]
+            payload = {"result": result_to_record(result),
+                       "profile": profile_to_record(prof)}
+        elif key in _cache:
+            val = _cache[key]
+            payload = ({"unsupported": val.reason}
+                       if isinstance(val, _Unsupported)
+                       else {"result": result_to_record(val)})
+        else:
+            continue
+        out.append((req.workload, req.mode.value, req.profiled, payload))
+    return out
+
+
+def install_memo(entries: list[tuple]) -> None:
+    """Install :func:`snapshot_memo` entries into this process's memo."""
+    config = _current_config()
+    for workload, mode_value, profiled, payload in entries:
+        _install_payload(RunRequest(workload, Mode(mode_value), profiled),
+                         config, payload)
 
 
 def _normalize(requests: Iterable) -> list[RunRequest]:
@@ -253,16 +385,15 @@ def prefetch(requests: Iterable, jobs: int | None = None) -> None:
             else:
                 still.append(req)
         pending = still
-    jobs = _default_jobs if jobs is None else max(1, int(jobs))
+    jobs = effective_jobs(_default_jobs if jobs is None else int(jobs))
     if jobs > 1 and len(pending) > 1:
-        import multiprocessing as mp
-
-        args = [(r.workload, r.mode.value, r.profiled) for r in pending]
-        with mp.get_context("fork").Pool(min(jobs, len(pending))) as pool:
-            # chunksize=1: run times vary by 100x across (workload, mode),
-            # so static chunking would serialise behind the slow ones.
-            payloads = pool.starmap(_execute, args, chunksize=1)
+        args = [(r.workload, r.mode.value, r.profiled, config)
+                for r in pending]
+        # chunksize=1: run times vary by 100x across (workload, mode),
+        # so static chunking would serialise behind the slow ones.
+        payloads = shared_pool(jobs).starmap(_execute, args, chunksize=1)
         for req, payload in zip(pending, payloads):
+            _note_timing(req, payload)
             _install_payload(req, config, payload)
             if _disk_cache is not None:
                 _disk_cache.store_run(req.workload, req.mode, req.profiled,

@@ -5,6 +5,7 @@ from .hierarchy import Dim3, ThreadId, warps_in_block, warps_in_grid
 from .kernel import GpuFault, KernelResult, LaunchAccounting, ThreadContext
 from .memory import DeviceArray
 from .multi import GroupResult, MultiGpu
+from .warp import WarpContext, scalar_lane, vectorized_for
 
 __all__ = [
     "DeviceArray",
@@ -17,6 +18,9 @@ __all__ = [
     "LaunchAccounting",
     "ThreadContext",
     "ThreadId",
+    "WarpContext",
+    "scalar_lane",
+    "vectorized_for",
     "warps_in_block",
     "warps_in_grid",
 ]

@@ -44,16 +44,14 @@ from ..sim.memory import MemKind, Region
 from ..sim.optane import merge_segments
 from .hierarchy import Dim3, ThreadId, warps_in_grid
 from .kernel import (
+    _IMPLICIT_ROUND,
     GpuFault,
     KernelResult,
     LaunchAccounting,
     ThreadContext,
     _WarpDrainBuffer,
 )
-
-#: Round key for stores that were never explicitly fenced; they drain at
-#: warp retirement ("eventual" durability) without counting as fence rounds.
-_IMPLICIT_ROUND = 1 << 30
+from .warp import WarpContext, resolve_warp_impl
 
 
 class _BlockEngine:
@@ -128,8 +126,13 @@ class _BlockEngine:
         for warp in list(self._buffers):
             self.flush_warp(warp)
 
-    def _deliver(self, region: Region, starts: list[int], lengths: list[int],
+    def _deliver(self, region: Region, starts, lengths,
                  round_no: int = 0) -> None:
+        # The scalar lane buffers lists of ints, the warp lane lists of
+        # numpy batches; either way one flat array pair reaches the merge.
+        if starts and isinstance(starts[0], np.ndarray):
+            starts = np.concatenate(starts)
+            lengths = np.concatenate(lengths)
         s, l = merge_segments(np.asarray(starts), np.asarray(lengths))
         nbytes = int(l.sum())
         self.machine.events.emit(WarpDrain(
@@ -180,6 +183,15 @@ class Gpu:
         (``__syncthreads``).  ``shared_factory(block_id)`` builds the
         block's shared-memory object (default: a fresh dict).
 
+        Kernels carrying a warp-level implementation (see
+        :func:`repro.gpu.warp.vectorized_for`) execute on the vectorized
+        lane - one Python call per warp instead of per thread - with
+        bit-identical accounting, events, and memory images.  The scalar
+        lane is used whenever a ``crash_injector`` is supplied (including
+        ``repro.check``'s frontier recorders): per-thread interleaving is
+        exactly what crash injection explores.  ``KernelResult.lane``
+        reports which lane ran.
+
         Raises :class:`~repro.sim.crash.SimulatedCrash` if an armed
         ``crash_injector`` fires mid-launch; simulated time for the partial
         execution is still charged.
@@ -200,12 +212,20 @@ class Gpu:
         total_threads = grid.count * block.count
         acct.ops += compute_ops_per_thread * total_threads
         self.machine.events.emit(KernelLaunch(kind="kernel"))
-        is_generator = inspect.isgeneratorfunction(kernel)
+        warp_impl = resolve_warp_impl(kernel) if crash_injector is None else None
+        run_as = warp_impl if warp_impl is not None else kernel
+        is_generator = inspect.isgeneratorfunction(run_as)
         retired = 0
         crashed = False
         try:
             for block_flat in range(grid.count):
                 shared = shared_factory(block_flat) if shared_factory else {}
+                if warp_impl is not None:
+                    retired = self._run_block_warps(
+                        warp_impl, grid, block, block_flat, shared, args,
+                        engine, warp_size, retired, is_generator,
+                    )
+                    continue
                 contexts = [
                     ThreadContext(
                         ThreadId(grid, block, block_flat, t, warp_size), shared, engine
@@ -237,6 +257,7 @@ class Gpu:
             stats_delta=self.machine.stats.delta_since(before),
             threads=total_threads,
             warps=warps_in_grid(grid, block, warp_size),
+            lane="warp" if warp_impl is not None else "scalar",
         )
 
     def _run_block_plain(self, kernel, contexts, args, engine, warp_size, retired, injector):
@@ -273,6 +294,47 @@ class Gpu:
             if injector is not None:
                 injector.advance(newly)
             active = still
+        return retired
+
+    def _run_block_warps(self, warp_impl, grid, block, block_flat, shared,
+                         args, engine, warp_size, retired, is_generator):
+        """One block on the vectorized lane: one Python call per warp.
+
+        Plain warp kernels mirror ``_run_block_plain``: run the warp, move
+        its unfenced stores to the implicit round, flush.  Generator warp
+        kernels mirror ``_run_block_generators``: every warp advances to
+        the barrier, then the block-wide ``flush_all`` delivers all fenced
+        batches in program order - so event order is identical by
+        construction.
+        """
+        n = block.count
+        if not is_generator:
+            for w0 in range(0, n, warp_size):
+                count = min(warp_size, n - w0)
+                wctx = WarpContext(grid, block, block_flat, w0, count,
+                                   warp_size, shared, engine)
+                warp_impl(wctx, *args)
+                wctx._retire()
+                engine.flush_warp(wctx.warp_global)
+                retired += count
+            return retired
+        running = []
+        for w0 in range(0, n, warp_size):
+            count = min(warp_size, n - w0)
+            wctx = WarpContext(grid, block, block_flat, w0, count,
+                               warp_size, shared, engine)
+            running.append((wctx, warp_impl(wctx, *args)))
+        while running:
+            still = []
+            for wctx, gen in running:
+                try:
+                    next(gen)
+                    still.append((wctx, gen))
+                except StopIteration:
+                    wctx._retire()
+                    retired += wctx.n
+            engine.flush_all()
+            running = still
         return retired
 
     # ------------------------------------------------------------------

@@ -39,6 +39,11 @@ class GpuFault(Exception):
     """A kernel performed an illegal operation (bad address, bad region)."""
 
 
+#: Round key for stores that were never explicitly fenced; they drain at
+#: warp retirement ("eventual" durability) without counting as fence rounds.
+_IMPLICIT_ROUND = 1 << 30
+
+
 @dataclass
 class LaunchAccounting:
     """Traffic and compute tallies for one kernel launch."""
@@ -70,6 +75,9 @@ class KernelResult:
     threads: int
     warps: int
     crashed: bool = False
+    #: Which execution lane ran the kernel: "scalar" (thread-at-a-time) or
+    #: "warp" (the vectorized lane of :mod:`repro.gpu.warp`).
+    lane: str = "scalar"
 
 
 @dataclass
@@ -78,7 +86,10 @@ class _WarpDrainBuffer:
 
     Stores accumulate as plain per-region lists; they are converted to
     arrays and merged into coalesced segments exactly once, when the round
-    drains (``_BlockEngine._deliver``).
+    drains (``_BlockEngine._deliver``).  The scalar lane appends python
+    ints (:meth:`add` / :meth:`add_many`); the warp lane appends whole
+    numpy batches (:meth:`add_arrays`) - a round's lists hold one kind or
+    the other, never a mix, and ``_deliver`` normalises either.
     """
 
     rounds: dict[int, dict[int, tuple[Region, list[int], list[int]]]] = field(
@@ -106,6 +117,17 @@ class _WarpDrainBuffer:
                 get = per_region.get
             entry[1].append(start)
             entry[2].append(length)
+
+    def add_arrays(self, round_no: int, region: Region, starts: np.ndarray,
+                   lengths: np.ndarray) -> None:
+        """Append one vectorized store batch (the warp lane's unit)."""
+        per_region = self.rounds.setdefault(round_no, {})
+        key = id(region)
+        entry = per_region.get(key)
+        if entry is None:
+            per_region[key] = entry = (region, [], [])
+        entry[1].append(starts)
+        entry[2].append(lengths)
 
 
 class ThreadContext:

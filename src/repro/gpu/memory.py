@@ -65,6 +65,35 @@ class DeviceArray:
             raise IndexError("vector store overruns array")
         ctx.store(self.region, self.byte_offset(index), values, self.dtype)
 
+    # -- metered warp-level (vectorized lane) access ------------------------
+
+    def _byte_offsets(self, indices) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (int(indices.min()) < 0
+                             or int(indices.max()) >= self.count):
+            raise IndexError(f"warp indices out of range [0, {self.count})")
+        return self.offset + indices * self.dtype.itemsize
+
+    def read_uniform_warp(self, wctx, index: int, lanes=None):
+        """All participating lanes load the same element (broadcast read)."""
+        return wctx.load_uniform(self.region, self.byte_offset(index),
+                                 self.dtype, lanes=lanes)
+
+    def read_warp(self, wctx, indices, lanes=None) -> np.ndarray:
+        """Per-lane loads of one element each (vectorized lane)."""
+        return wctx.load(self.region, self._byte_offsets(indices), self.dtype,
+                         lanes=lanes)
+
+    def read_vec_warp(self, wctx, indices, n: int, lanes=None) -> np.ndarray:
+        """Per-lane loads of ``n`` consecutive elements each."""
+        return wctx.load(self.region, self._byte_offsets(indices), self.dtype,
+                         count=n, lanes=lanes)
+
+    def write_warp(self, wctx, indices, values, lanes=None) -> None:
+        """Per-lane stores of one element each (vectorized lane)."""
+        wctx.store(self.region, self._byte_offsets(indices), values,
+                   self.dtype, lanes=lanes)
+
     def atomic_add(self, ctx: ThreadContext, index: int, value):
         return ctx.atomic_add(self.region, self.byte_offset(index), value, self.dtype)
 

@@ -1,0 +1,410 @@
+"""The warp-vectorized execution lane of the simulated GPU.
+
+The scalar lane of :meth:`~repro.gpu.device.Gpu.launch` interprets a kernel
+one Python thread at a time - faithful, and the reference semantics for
+crash injection, but slow: a 16K-thread launch pays ~10 Python calls per
+simulated load/store.  This module adds a second lane that executes one
+**warp per call**: a :class:`WarpContext` exposes the same primitives as
+:class:`~repro.gpu.kernel.ThreadContext` but over numpy arrays of per-lane
+offsets and values, with explicit active-lane subsets for divergence.
+
+Equivalence is by construction, not by re-modelling:
+
+* vectorized stores append *array batches* to the same per-warp
+  :class:`~repro.gpu.kernel._WarpDrainBuffer` the scalar lane fills, keyed
+  by the same per-lane fence rounds, and drain through the unchanged
+  ``_BlockEngine._deliver`` path - so coalesced segments, PCIe transaction
+  counts, Optane epochs and every event-bus emission come out identical
+  (``merge_segments`` sorts, so intra-round store order cannot matter);
+* metering increments the same :class:`~repro.gpu.kernel.LaunchAccounting`
+  counters by the same amounts (one op per load/store *per lane*, etc.).
+
+Kernels opt in by attaching a warp-level implementation to the scalar
+callable with :func:`vectorized_for`; the scalar body remains the reference
+(and the only lane used under crash injection, where per-thread interleaving
+is the whole point).  The parity suite in ``tests/gpu/test_warp_parity.py``
+holds the two lanes bit-identical on every converted workload.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..sim.memory import MemKind, Region
+from .hierarchy import Dim3
+from .kernel import _IMPLICIT_ROUND, _WarpDrainBuffer
+
+#: Module switch: when True, ``Gpu.launch`` ignores registered warp
+#: implementations and every kernel runs thread-at-a-time.  Settable for a
+#: whole process via the ``REPRO_SCALAR_LANE`` environment variable, or
+#: scoped with :func:`scalar_lane` (the parity tests' reference runs).
+_scalar_only = os.environ.get("REPRO_SCALAR_LANE", "") not in ("", "0")
+
+#: Cached ``np.arange`` vectors for gather/scatter index construction.
+_SPANS: dict[int, np.ndarray] = {}
+
+
+def vectorized_for(scalar_kernel):
+    """Decorator registering a warp-level implementation of ``scalar_kernel``.
+
+    The warp implementation is called once per warp as ``fn(wctx, *args)``
+    with the same extra arguments as the scalar kernel; if it is a generator
+    function, each ``yield`` is the block-wide barrier, mirroring the scalar
+    convention.  The scalar callable stays the reference semantics - it runs
+    whenever a crash injector is armed or the scalar lane is forced.
+    """
+
+    def register(warp_fn):
+        scalar_kernel.__warp_impl__ = warp_fn
+        warp_fn.__scalar_impl__ = scalar_kernel
+        return warp_fn
+
+    return register
+
+
+def resolve_warp_impl(kernel):
+    """The warp implementation ``Gpu.launch`` should use, or ``None``."""
+    if _scalar_only:
+        return None
+    return getattr(kernel, "__warp_impl__", None)
+
+
+@contextmanager
+def scalar_lane():
+    """Force the thread-at-a-time lane within the block (parity reference)."""
+    global _scalar_only
+    prev = _scalar_only
+    _scalar_only = True
+    try:
+        yield
+    finally:
+        _scalar_only = prev
+
+
+def _span(nbytes: int) -> np.ndarray:
+    arange = _SPANS.get(nbytes)
+    if arange is None:
+        arange = _SPANS[nbytes] = np.arange(nbytes, dtype=np.int64)
+    return arange
+
+
+class WarpContext:
+    """The device-side view of one warp (all lanes at once).
+
+    Per-lane arguments (``offsets``, ``values``) are numpy arrays with one
+    entry per *participating lane*; the ``lanes`` parameter names those
+    lanes (indices into the warp, an int array or a boolean mask; default:
+    every lane).  Divergent kernels pass the active subset explicitly -
+    the simulated accounting charges only participating lanes, exactly as
+    the scalar lane charges only threads that execute the operation.
+    """
+
+    __slots__ = (
+        "shared", "block_flat", "warp_global", "warp_in_block", "n",
+        "lanes", "thread_flats", "global_ids", "_block_dim", "_grid_dim",
+        "_engine", "_rounds", "_pending",
+    )
+
+    def __init__(self, grid: Dim3, block: Dim3, block_flat: int, w0: int,
+                 count: int, warp_size: int, shared, engine) -> None:
+        self.shared = shared
+        self.block_flat = block_flat
+        warps_per_block = (block.count + warp_size - 1) // warp_size
+        self.warp_in_block = w0 // warp_size
+        self.warp_global = block_flat * warps_per_block + self.warp_in_block
+        self.n = count
+        self.lanes = np.arange(count, dtype=np.int64)
+        self.thread_flats = w0 + self.lanes
+        self.global_ids = block_flat * block.count + self.thread_flats
+        self._block_dim = block.count
+        self._grid_dim = grid.count
+        self._engine = engine
+        #: Per-lane fence-round counters (the scalar lane's ``ctx._round``).
+        self._rounds = np.zeros(count, dtype=np.int64)
+        #: Vector store batches awaiting a fence:
+        #: (region, starts, lengths, lane indices), one entry per store op.
+        self._pending: list[tuple[Region, np.ndarray, np.ndarray, np.ndarray]] = []
+
+    # -- identity helpers -------------------------------------------------
+
+    @property
+    def block_id(self) -> int:
+        return self.block_flat
+
+    @property
+    def block_dim(self) -> int:
+        return self._block_dim
+
+    @property
+    def grid_dim(self) -> int:
+        return self._grid_dim
+
+    def _sel(self, lanes) -> np.ndarray:
+        if lanes is None:
+            return self.lanes
+        lanes = np.asarray(lanes)
+        if lanes.dtype == np.bool_:
+            return np.flatnonzero(lanes)
+        return lanes.astype(np.int64, copy=False)
+
+    def active(self, lanes=None) -> np.ndarray:
+        """Normalise a lane subset (mask / indices / None) to lane indices."""
+        return self._sel(lanes)
+
+    # -- compute ----------------------------------------------------------
+
+    def charge_ops(self, n: int) -> None:
+        """Charge ``n`` abstract arithmetic operations (warp-wide total)."""
+        self._engine.acct.ops += n
+
+    def charge_serial_time(self, total_seconds: float) -> None:
+        acct = self._engine.acct
+        if total_seconds > acct.serial_time:
+            acct.serial_time = total_seconds
+
+    # -- memory -----------------------------------------------------------
+
+    def _bounds(self, region: Region, offsets: np.ndarray, nbytes: int) -> None:
+        if offsets.size == 0:
+            return
+        lo = int(offsets.min())
+        hi = int(offsets.max()) + nbytes
+        if lo < 0 or hi > region.size:
+            raise IndexError(
+                f"warp access [{lo}, {hi}) outside region {region.name!r} "
+                f"of size {region.size}"
+            )
+
+    def load(self, region: Region, offsets, dtype=np.uint8, count: int = 1,
+             lanes=None):
+        """Per-lane typed loads: one load of ``count`` elements per lane.
+
+        Returns a ``(k,)`` array (``count == 1``) or ``(k, count)`` array,
+        ``k`` being the number of participating lanes.  Accounting matches
+        ``k`` scalar :meth:`~repro.gpu.kernel.ThreadContext.load` calls.
+        """
+        del lanes  # participation is implied by offsets; kept for symmetry
+        offsets = np.asarray(offsets, dtype=np.int64)
+        k = offsets.size
+        dtype = np.dtype(dtype)
+        nbytes = dtype.itemsize * count
+        self._bounds(region, offsets, nbytes)
+        idx = (offsets[:, None] + _span(nbytes)).reshape(-1)
+        data = region.visible[idx].view(dtype)
+        self._meter_loads(region, k, nbytes)
+        if count == 1:
+            return data
+        return data.reshape(k, count)
+
+    def load_uniform(self, region: Region, offset: int, dtype=np.uint8,
+                     count: int = 1, lanes=None):
+        """All participating lanes load the *same* address (broadcast read).
+
+        Metered as one scalar load per lane; the value is read once.
+        Returns a scalar (``count == 1``) or a copied array.
+        """
+        k = self._sel(lanes).size
+        dtype = np.dtype(dtype)
+        nbytes = dtype.itemsize * count
+        data = region.read_bytes(offset, nbytes).view(dtype)
+        self._meter_loads(region, k, nbytes)
+        if count == 1:
+            return data[0]
+        return data.copy()
+
+    def _meter_loads(self, region: Region, k: int, nbytes_each: int) -> None:
+        acct = self._engine.acct
+        acct.ops += k
+        if region.kind is MemKind.HBM:
+            acct.hbm_read_bytes += k * nbytes_each
+        else:
+            acct.host_read_bytes += k * nbytes_each
+
+    def meter_loads(self, region: Region, k: int, nbytes_each: int) -> None:
+        """Account for ``k`` per-lane loads whose values were obtained
+        through host-side views (the sequential-hazard escape hatch: a warp
+        implementation that must see intra-warp program order reads live
+        numpy views and meters here, keeping counters identical)."""
+        self._meter_loads(region, k, nbytes_each)
+
+    def store(self, region: Region, offsets, values, dtype=np.uint8,
+              lanes=None) -> None:
+        """Per-lane typed stores; visible immediately, persistence on fence.
+
+        ``values`` is ``(k,)`` (one element per lane), ``(k, m)`` (a vector
+        per lane) or a scalar to broadcast.  Overlapping per-lane offsets
+        resolve highest-lane-wins, matching scalar thread order.
+        """
+        sel = self._sel(lanes)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        k = offsets.size
+        dtype = np.dtype(dtype)
+        arr = np.asarray(values, dtype=dtype)
+        if arr.ndim == 0:
+            arr = np.broadcast_to(arr, (k,))
+        raw = np.ascontiguousarray(arr).view(np.uint8).reshape(k, -1)
+        nbytes = raw.shape[1]
+        self._bounds(region, offsets, nbytes)
+        idx = (offsets[:, None] + _span(nbytes)).reshape(-1)
+        region.visible[idx] = raw.reshape(-1)
+        self.record_store(region, offsets, nbytes, sel)
+
+    def record_store(self, region: Region, offsets: np.ndarray,
+                     nbytes_each: int, lanes: np.ndarray) -> None:
+        """Meter per-lane stores whose bytes were already placed in the
+        visible image (via :meth:`store` or live host-side views)."""
+        k = offsets.size
+        acct = self._engine.acct
+        acct.ops += k
+        if region.kind is MemKind.HBM:
+            acct.hbm_write_bytes += k * nbytes_each
+        else:
+            self._pending.append((
+                region,
+                np.asarray(offsets, dtype=np.int64),
+                np.full(k, nbytes_each, dtype=np.int64),
+                lanes,
+            ))
+
+    # -- atomics (sequential per-lane semantics, vector metering) ----------
+
+    def _atomic(self, region: Region, offsets, values, dtype, fn, lanes=None):
+        sel = self._sel(lanes)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        dtype = np.dtype(dtype)
+        k = offsets.size
+        values = np.broadcast_to(np.asarray(values, dtype=dtype), (k,))
+        old = np.empty(k, dtype=dtype)
+        visible = region.visible
+        nb = dtype.itemsize
+        self._bounds(region, offsets, nb)
+        # Lane order IS thread order: colliding offsets chain exactly as the
+        # scalar lane's sequential read-modify-writes do.
+        for j in range(k):
+            off = int(offsets[j])
+            cur = visible[off:off + nb].view(dtype)[0]
+            old[j] = cur
+            new = fn(cur, values[j])
+            if new is not None:
+                visible[off:off + nb] = np.asarray(new, dtype=dtype).reshape(1).view(np.uint8)
+        acct = self._engine.acct
+        acct.ops += 4 * k
+        if region.kind is MemKind.HBM:
+            acct.hbm_read_bytes += k * nb
+            acct.hbm_write_bytes += k * nb
+        else:
+            acct.host_read_bytes += k * nb
+            self._pending.append((
+                region, offsets, np.full(k, nb, dtype=np.int64), sel,
+            ))
+        return old
+
+    def atomic_add(self, region: Region, offsets, values, dtype=np.int64,
+                   lanes=None):
+        """Per-lane atomic fetch-and-add; returns the previous values."""
+        return self._atomic(region, offsets, values, dtype,
+                            lambda cur, v: cur + v, lanes)
+
+    def atomic_max(self, region: Region, offsets, values, dtype=np.int64,
+                   lanes=None):
+        """Per-lane atomic max; returns the previous values."""
+        return self._atomic(region, offsets, values, dtype,
+                            lambda cur, v: max(cur, v), lanes)
+
+    def atomic_cas(self, region: Region, offsets, expected, desired,
+                   dtype=np.int64, lanes=None):
+        """Per-lane atomic compare-and-swap; returns the previous values."""
+        dtype = np.dtype(dtype)
+        k = np.asarray(offsets).size
+        expected = np.broadcast_to(np.asarray(expected, dtype=dtype), (k,))
+        desired = np.broadcast_to(np.asarray(desired, dtype=dtype), (k,))
+        state = {"j": 0}
+
+        def swap(cur, _v):
+            j = state["j"]
+            state["j"] = j + 1
+            if cur == expected[j]:
+                return desired[j]
+            return None
+
+        return self._atomic(region, offsets, desired, dtype, swap, lanes)
+
+    # -- fences -----------------------------------------------------------
+
+    def persist(self, lanes=None) -> None:
+        """System-scope fence for the participating lanes.
+
+        Each participating lane counts one fence and advances its private
+        round; pending stores belonging to those lanes move into the warp's
+        drain buffer under each lane's (new) round number - precisely the
+        scalar lane's per-thread ``fence``, batched.
+        """
+        sel = self._sel(lanes)
+        k = sel.size
+        if k == 0:
+            return
+        eng = self._engine
+        eng.acct.fences += k
+        eng._fence_count += k
+        rounds = self._rounds
+        rounds[sel] += 1
+        warp = self.warp_global
+        top = int(rounds[sel].max())
+        if top > eng._warp_rounds.get(warp, 0):
+            eng._warp_rounds[warp] = top
+        if not self._pending:
+            return
+        fencing = np.zeros(self.n, dtype=bool)
+        fencing[sel] = True
+        buf = None
+        still = []
+        for region, starts, lengths, lsel in self._pending:
+            drain = fencing[lsel]
+            if not drain.any():
+                still.append((region, starts, lengths, lsel))
+                continue
+            if buf is None:
+                buf = eng._buffers.setdefault(warp, _WarpDrainBuffer())
+            d_rounds = rounds[lsel[drain]]
+            d_starts = starts[drain]
+            d_lengths = lengths[drain]
+            uniq = np.unique(d_rounds)
+            if uniq.size == 1:
+                buf.add_arrays(int(uniq[0]), region, d_starts, d_lengths)
+            else:
+                for r in uniq.tolist():
+                    sub = d_rounds == r
+                    buf.add_arrays(int(r), region, d_starts[sub], d_lengths[sub])
+            if not drain.all():
+                keep = ~drain
+                still.append((region, starts[keep], lengths[keep], lsel[keep]))
+        self._pending = still
+        if buf is not None:
+            eng._warps_with_writes.add(warp)
+
+    def threadfence_system(self, lanes=None) -> None:
+        """CUDA-spelled alias of :meth:`persist`."""
+        self.persist(lanes)
+
+    def threadfence(self, lanes=None) -> None:
+        """Device-scope fences: visibility only, one op per lane."""
+        self._engine.acct.ops += self._sel(lanes).size
+
+    def threadfence_block(self, lanes=None) -> None:
+        self._engine.acct.ops += self._sel(lanes).size
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _retire(self) -> None:
+        """Warp retirement: unfenced stores drain at the implicit round."""
+        if not self._pending:
+            return
+        eng = self._engine
+        buf = eng._buffers.setdefault(self.warp_global, _WarpDrainBuffer())
+        for region, starts, lengths, _lsel in self._pending:
+            buf.add_arrays(_IMPLICIT_ROUND, region, starts, lengths)
+        self._pending.clear()
+        eng._warps_with_writes.add(self.warp_global)

@@ -22,8 +22,6 @@ import itertools
 from ..sim.memory import MemKind, Region
 from .filesystem import PmFile
 
-#: process-wide unique suffix for bounce-buffer region names
-_bounce_ids = itertools.count()
 
 
 class CapMode(enum.Enum):
@@ -44,6 +42,10 @@ class CapEngine:
         #: the best-performing count, as the paper does.
         self.threads = threads
         self._bounce: Region | None = None
+        # Per-engine suffix for bounce-buffer names: keeps region names (and
+        # hence event streams) deterministic for a given run, regardless of
+        # how many systems the process built before this one.
+        self._bounce_ids = itertools.count()
         if mode is CapMode.EADR and not system.eadr:
             raise ValueError("CAP-eADR requires a System(eadr=True) platform")
 
@@ -54,9 +56,13 @@ class CapEngine:
         if self._bounce is None or self._bounce.size < nbytes:
             if self._bounce is not None:
                 self.system.machine.free(self._bounce)
-            self._bounce = self.system.machine.alloc_dram(
-                f"cap-bounce-{next(_bounce_ids)}", max(nbytes, 1 << 16)
-            )
+            machine = self.system.machine
+            # Skip names another engine on this machine already holds (e.g. a
+            # recovery driver built alongside the original run's driver).
+            name = f"cap-bounce-{next(self._bounce_ids)}"
+            while name in machine._regions:
+                name = f"cap-bounce-{next(self._bounce_ids)}"
+            self._bounce = machine.alloc_dram(name, max(nbytes, 1 << 16))
         return self._bounce
 
     def persist_output(self, src: Region, src_off: int, dst: PmFile | Region,

@@ -43,7 +43,9 @@ class LastLevelCache:
         self._optane = optane
         self._line = config.cpu_cache_line_bytes
         self._capacity_lines = config.llc_ddio_bytes // self._line
-        # (id(region), line_no) -> region, in LRU order (oldest first).
+        # (region.token, line_no) -> region, in LRU order (oldest first).
+        # Tokens are monotonic and never reused, unlike id(): a freed
+        # region's stale dirty lines can never alias a later allocation.
         self._dirty: OrderedDict[tuple[int, int], tuple[Region, int]] = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -53,7 +55,7 @@ class LastLevelCache:
 
     def dirty_lines(self, region: Region) -> list[int]:
         """Line numbers of ``region`` currently dirty in the LLC (sorted)."""
-        rid = id(region)
+        rid = region.token
         return sorted(line for (r, line), _ in self._dirty.items() if r == rid)
 
     def install_writes(self, region: Region, starts, lengths) -> None:
@@ -75,7 +77,7 @@ class LastLevelCache:
         if total > 2 * self._capacity_lines * self._line:
             tail_bytes = self._capacity_lines * self._line
             starts, lengths = self._persist_all_but_tail(region, starts, lengths, tail_bytes)
-        rid = id(region)
+        rid = region.token
         hits = fills = 0
         for start, length in zip(starts.tolist(), lengths.tolist()):
             if length <= 0:
@@ -156,7 +158,7 @@ class LastLevelCache:
         """
         if region.kind is not MemKind.PM or size <= 0:
             return 0.0
-        rid = id(region)
+        rid = region.token
         first = offset // self._line
         last = (offset + size - 1) // self._line
         span_lines = last - first + 1
@@ -190,7 +192,7 @@ class LastLevelCache:
         """
         if region.kind is not MemKind.PM or size <= 0:
             return
-        rid = id(region)
+        rid = region.token
         first = offset // self._line
         last = (offset + size - 1) // self._line
         if last - first + 1 <= len(self._dirty):

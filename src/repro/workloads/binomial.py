@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..gpu.memory import DeviceArray
+from ..gpu.warp import vectorized_for
 from .base import Category, Mode, ModeDriver, RunResult, make_system, measure
 
 _HEADER_BYTES = 128
@@ -70,6 +71,30 @@ def pricing_kernel(ctx, params, out, n_options, steps, persist_on):
         ctx.persist()
 
 
+@vectorized_for(pricing_kernel)
+def pricing_warp(wctx, params, out, n_options, steps, persist_on):
+    """Warp-vectorized pricer: thread 0's work runs on a single lane.
+
+    The four parameter reads stay separate calls so the op count matches
+    the scalar body's four :meth:`~repro.gpu.memory.DeviceArray.read`\\ s.
+    """
+    blk = wctx.block_id
+    if blk >= n_options:
+        return
+    wctx.charge_ops((steps * steps // wctx.block_dim + steps) * wctx.n)
+    if wctx.warp_in_block != 0:
+        return
+    lane0 = wctx.lanes[:1]
+    spot = float(params.read_uniform_warp(wctx, blk * 4 + 0, lanes=lane0))
+    strike = float(params.read_uniform_warp(wctx, blk * 4 + 1, lanes=lane0))
+    t = float(params.read_uniform_warp(wctx, blk * 4 + 2, lanes=lane0))
+    vol = float(params.read_uniform_warp(wctx, blk * 4 + 3, lanes=lane0))
+    price = binomial_price(spot, strike, t, 0.02, vol, steps)
+    out.write_warp(wctx, [blk], np.float32(price), lanes=lane0)
+    if persist_on:
+        wctx.persist(lane0)
+
+
 @dataclass
 class BinomialConfig:
     n_options: int = 96
@@ -110,9 +135,10 @@ class BinomialOptions:
         def price_all():
             driver.persist_phase_begin()
             try:
-                system.gpu.launch(pricing_kernel, n, cfg.block_dim,
-                                  (params, out, n, cfg.steps,
-                                   driver.mode.data_on_pm))
+                res = system.gpu.launch(pricing_kernel, n, cfg.block_dim,
+                                        (params, out, n, cfg.steps,
+                                         driver.mode.data_on_pm))
+                self._last_lane = res.lane
             finally:
                 driver.persist_phase_end()
             buf.persist_range(_HEADER_BYTES, n * 4)

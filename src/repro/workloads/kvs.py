@@ -36,6 +36,7 @@ from ..core.logging import (
 )
 from ..core.transactions import TransactionFlag
 from ..gpu.memory import DeviceArray
+from ..gpu.warp import scalar_lane, vectorized_for
 from .base import (
     Category,
     CrashConsistent,
@@ -57,6 +58,14 @@ def hash64(key: int) -> int:
     k = (k ^ (k >> 33)) * 0xFF51AFD7ED558CCD & _MASK64
     k = (k ^ (k >> 29)) * 0xC4CEB9FE1A85EC53 & _MASK64
     return k ^ (k >> 32)
+
+
+def hash64_vec(keys: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`hash64` (bit-identical, parity-tested)."""
+    k = np.asarray(keys, dtype=np.uint64)
+    k = (k ^ (k >> np.uint64(33))) * np.uint64(0xFF51AFD7ED558CCD)
+    k = (k ^ (k >> np.uint64(29))) * np.uint64(0xC4CEB9FE1A85EC53)
+    return k ^ (k >> np.uint64(32))
 
 
 def _pack_entry(set_idx: int, way: int, old_key: int, old_value: int) -> np.ndarray:
@@ -119,6 +128,94 @@ def set_kernel(ctx, keys, values, mirror_keys, mirror_values, batch_keys,
     touched.append(base + loc)
 
 
+@vectorized_for(set_kernel)
+def set_warp(wctx, keys, values, mirror_keys, mirror_values, batch_keys,
+             batch_values, n_ops, n_sets, ways, log, touched):
+    """Warp-vectorized SET batch (HCL logs only; see ``_run_set_batch``).
+
+    Slot selection is the one sequential hazard: an earlier thread's insert
+    can consume the empty way a later thread in the same warp would pick,
+    so the selection loop walks lanes in thread order over the *live*
+    table view, applying each lane's key/value as it goes (reads metered
+    through :meth:`~repro.gpu.warp.WarpContext.meter_loads`).  Everything
+    else - batch reads, undo-log insert, table stores, persists, mirror
+    maintenance - runs as whole-warp vector batches.
+    """
+    sel = wctx.active(wctx.global_ids < n_ops)
+    if sel.size == 0:
+        return
+    g = wctx.global_ids[sel]
+    k = sel.size
+    bkeys = batch_keys.read_warp(wctx, g, lanes=sel)
+    bvals = batch_values.read_warp(wctx, g, lanes=sel)
+    wctx.charge_ops(6 * k)  # hashing
+    set_idxs = (hash64_vec(bkeys) % np.uint64(n_sets)).astype(np.int64)
+    bases = set_idxs * ways
+    wctx.meter_loads(keys.region, k, 8 * ways)   # the per-thread row read_vec
+    wctx.meter_loads(values.region, k, 8)        # the per-thread old-value read
+    keys_live = keys.np
+    values_live = values.np
+    if np.unique(bases).size == k:
+        # No two lanes share a set: selection is hazard-free, vectorize it.
+        rows = keys_live[(bases[:, None] + np.arange(ways)).reshape(-1)]
+        rows = rows.reshape(k, ways)
+        m = rows == bkeys[:, None]
+        e = rows == 0
+        evict = (hash64_vec(bkeys ^ np.uint64(0x9E3779B97F4A7C15))
+                 % np.uint64(ways)).astype(np.int64)
+        ways_chosen = np.where(m.any(axis=1), m.argmax(axis=1),
+                               np.where(e.any(axis=1), e.argmax(axis=1), evict))
+        locs = bases + ways_chosen
+        old_keys = rows[np.arange(k), ways_chosen]
+        old_values = values_live[locs].copy()
+        keys_live[locs] = bkeys
+        values_live[locs] = bvals
+    else:
+        locs = np.empty(k, dtype=np.int64)
+        ways_chosen = np.empty(k, dtype=np.int64)
+        old_keys = np.empty(k, dtype=np.uint64)
+        old_values = np.empty(k, dtype=np.uint64)
+        key_list = bkeys.tolist()
+        val_list = bvals.tolist()
+        for j in range(k):
+            key = key_list[j]
+            base = int(bases[j])
+            row = keys_live[base:base + ways]
+            loc = -1
+            for w in range(ways):
+                if int(row[w]) == key:
+                    loc = w
+                    break
+            if loc < 0:
+                for w in range(ways):
+                    if int(row[w]) == 0:
+                        loc = w
+                        break
+            if loc < 0:
+                loc = hash64(key ^ 0x9E3779B97F4A7C15) % ways
+            ways_chosen[j] = loc
+            old_keys[j] = row[loc]
+            old_values[j] = values_live[base + loc]
+            keys_live[base + loc] = key
+            values_live[base + loc] = val_list[j]
+            locs[j] = base + loc
+    if log is not None:
+        entries = np.empty((k, 6), dtype=np.uint32)
+        entries[:, 0] = set_idxs.astype(np.uint32)
+        entries[:, 1] = ways_chosen.astype(np.uint32)
+        entries[:, 2] = (old_keys & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        entries[:, 3] = (old_keys >> np.uint64(32)).astype(np.uint32)
+        entries[:, 4] = (old_values & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        entries[:, 5] = (old_values >> np.uint64(32)).astype(np.uint32)
+        log.insert_warp(wctx, entries, lanes=sel)
+    keys.write_warp(wctx, locs, bkeys, lanes=sel)
+    values.write_warp(wctx, locs, bvals, lanes=sel)
+    wctx.persist(sel)
+    mirror_keys.write_warp(wctx, locs, bkeys, lanes=sel)
+    mirror_values.write_warp(wctx, locs, bvals, lanes=sel)
+    touched.extend(int(x) for x in locs)
+
+
 def get_kernel(ctx, mirror_keys, mirror_values, batch_keys, out, n_ops, n_sets, ways):
     """One batched GET per thread, served from the HBM mirror."""
     i = ctx.global_id
@@ -134,6 +231,29 @@ def get_kernel(ctx, mirror_keys, mirror_values, batch_keys, out, n_ops, n_sets, 
             value = int(mirror_values.read(ctx, base + w))
             break
     out.write(ctx, i, value)
+
+
+@vectorized_for(get_kernel)
+def get_warp(wctx, mirror_keys, mirror_values, batch_keys, out, n_ops, n_sets, ways):
+    """Warp-vectorized GET batch: pure reads of a static mirror, no hazards."""
+    sel = wctx.active(wctx.global_ids < n_ops)
+    if sel.size == 0:
+        return
+    g = wctx.global_ids[sel]
+    k = sel.size
+    bkeys = batch_keys.read_warp(wctx, g, lanes=sel)
+    wctx.charge_ops(6 * k)
+    bases = (hash64_vec(bkeys) % np.uint64(n_sets)).astype(np.int64) * ways
+    rows = mirror_keys.read_vec_warp(wctx, bases, ways, lanes=sel)
+    match = rows == bkeys[:, None]
+    has = match.any(axis=1)
+    value = np.zeros(k, dtype=np.uint64)
+    if has.any():
+        w = np.argmax(match, axis=1)  # first matching way, as the scalar scan
+        value[has] = mirror_values.read_warp(
+            wctx, bases[has] + w[has], lanes=sel[has]
+        )
+    out.write_warp(wctx, g, value, lanes=sel)
 
 
 def delete_kernel(ctx, keys, values, mirror_keys, mirror_values, batch_keys,
@@ -324,12 +444,25 @@ class GpKvs(CrashConsistent):
             flag.begin()
         driver.persist_phase_begin()
         try:
-            system.gpu.launch(
-                set_kernel, self._grid(n_ops), cfg.block_dim,
-                (keys, values, mirror_keys, mirror_values, bk, bv, n_ops,
-                 cfg.n_sets, cfg.ways, log, touched),
-                crash_injector=crash_injector,
-            )
+            # The conventional-log ablation (Fig. 11a) serialises threads on
+            # partition locks - per-thread interleaving is its whole point,
+            # so it keeps the reference interpreter.
+            if log is not None and not isinstance(log, HclLog):
+                with scalar_lane():
+                    result = system.gpu.launch(
+                        set_kernel, self._grid(n_ops), cfg.block_dim,
+                        (keys, values, mirror_keys, mirror_values, bk, bv,
+                         n_ops, cfg.n_sets, cfg.ways, log, touched),
+                        crash_injector=crash_injector,
+                    )
+            else:
+                result = system.gpu.launch(
+                    set_kernel, self._grid(n_ops), cfg.block_dim,
+                    (keys, values, mirror_keys, mirror_values, bk, bv, n_ops,
+                     cfg.n_sets, cfg.ways, log, touched),
+                    crash_injector=crash_injector,
+                )
+            self._last_lane = result.lane
         finally:
             driver.persist_phase_end()
         # Mode-appropriate post-kernel persistence of the updated pairs.

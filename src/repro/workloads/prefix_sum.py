@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..gpu.memory import DeviceArray
+from ..gpu.warp import vectorized_for
 from .base import (
     Category,
     CrashConsistent,
@@ -63,6 +64,34 @@ def partial_sums_kernel(ctx, inp, pm_p_sums, persist_on):
             ctx.persist()
 
 
+@vectorized_for(partial_sums_kernel)
+def partial_sums_warp(wctx, inp, pm_p_sums, persist_on):
+    """Warp-vectorized Fig. 8 kernel; accounting matches the scalar body."""
+    blk = wctx.block_id
+    bdim = wctx.block_dim
+    last_idx = (blk + 1) * bdim - 1
+    if int(pm_p_sums.read_uniform_warp(wctx, last_idx)) != EMPTY:
+        return
+    shared = wctx.shared
+    if "prefix" not in shared:
+        vals = inp.read_vec_warp(wctx, [blk * bdim], bdim)[0]
+        shared["prefix"] = np.cumsum(np.asarray(vals, dtype=np.int64))
+        wctx.charge_ops(bdim)
+    my = shared["prefix"][wctx.thread_flats]
+    wctx.charge_ops(10 * wctx.n)
+    rest = wctx.thread_flats != bdim - 1
+    if rest.any():
+        pm_p_sums.write_warp(wctx, wctx.global_ids[rest], my[rest], lanes=rest)
+        if persist_on:
+            wctx.persist(rest)
+    yield  # __syncthreads()
+    last = ~rest
+    if last.any():
+        pm_p_sums.write_warp(wctx, wctx.global_ids[last], my[last], lanes=last)
+        if persist_on:
+            wctx.persist(last)
+
+
 def final_sums_kernel(ctx, pm_p_sums, block_offsets, pm_out, persist_on):
     """Fold block offsets into final sums, same sentinel ordering."""
     blk = ctx.block_id
@@ -82,6 +111,29 @@ def final_sums_kernel(ctx, pm_p_sums, block_offsets, pm_out, persist_on):
         pm_out.write(ctx, ctx.global_id, mine)
         if persist_on:
             ctx.persist()
+
+
+@vectorized_for(final_sums_kernel)
+def final_sums_warp(wctx, pm_p_sums, block_offsets, pm_out, persist_on):
+    blk = wctx.block_id
+    bdim = wctx.block_dim
+    last_idx = (blk + 1) * bdim - 1
+    if int(pm_out.read_uniform_warp(wctx, last_idx)) != EMPTY:
+        return
+    offset = int(block_offsets.read_uniform_warp(wctx, blk))
+    mine = pm_p_sums.read_warp(wctx, wctx.global_ids) + offset
+    wctx.charge_ops(4 * wctx.n)
+    rest = wctx.thread_flats != bdim - 1
+    if rest.any():
+        pm_out.write_warp(wctx, wctx.global_ids[rest], mine[rest], lanes=rest)
+        if persist_on:
+            wctx.persist(rest)
+    yield
+    last = ~rest
+    if last.any():
+        pm_out.write_warp(wctx, wctx.global_ids[last], mine[last], lanes=last)
+        if persist_on:
+            wctx.persist(last)
 
 
 @dataclass
@@ -160,10 +212,11 @@ class PrefixSum(CrashConsistent):
         persist_on = driver.mode.data_on_pm
         driver.persist_phase_begin()
         try:
-            system.gpu.launch(
+            res = system.gpu.launch(
                 partial_sums_kernel, n_blocks, cfg.block_dim,
                 (inp, p_sums, persist_on), crash_injector=injector,
             )
+            self._last_lane = res.lane
             # Exclusive scan of block totals (tiny, done by one warp).
             block_totals = p_sums.np[cfg.block_dim - 1 :: cfg.block_dim]
             offsets = DeviceArray(hbm, np.int64, data.nbytes, n_blocks)

@@ -138,6 +138,46 @@ class TestRunAllParity:
             runner.set_disk_cache(None)
 
 
+class TestSharedEngineFacilities:
+    def test_shared_pool_is_reused_and_executes(self):
+        pool = runner.shared_pool(2)
+        assert runner.shared_pool(2) is pool
+        payloads = pool.starmap(
+            runner._execute,
+            [("HS", "gpm", False, runner._current_config())], chunksize=1)
+        assert "result" in payloads[0]
+        assert payloads[0]["wall_s"] > 0
+
+    def test_snapshot_and_install_memo_round_trip(self):
+        runner.clear_cache()
+        reqs = [RunRequest("HS", Mode.GPM), RunRequest("gpKVS", Mode.GPUFS)]
+        prefetch(reqs, jobs=1)
+        memo = runner.snapshot_memo(reqs)
+        assert len(memo) == 2
+        before = result_to_record(run_workload("HS", Mode.GPM))
+        runner.clear_cache()
+        runner.install_memo(memo)
+        assert result_to_record(run_workload("HS", Mode.GPM)) == before
+        with pytest.raises(GpufsUnsupported):
+            run_workload("gpKVS", Mode.GPUFS)
+
+    def test_fresh_runs_record_timings_and_hits_do_not(self):
+        runner.clear_cache()
+        runner.drain_run_timings()
+        prefetch([RunRequest("CFD", Mode.GPM)], jobs=1)
+        timings = runner.drain_run_timings()
+        assert [t["workload"] for t in timings] == ["CFD"]
+        assert timings[0]["wall_s"] >= 0
+        prefetch([RunRequest("CFD", Mode.GPM)], jobs=1)  # memo hit
+        assert runner.drain_run_timings() == []
+
+    def test_effective_jobs_clamps_to_available_cpus(self):
+        import os
+
+        assert runner.effective_jobs(1) == 1
+        assert 1 <= runner.effective_jobs(64) <= (os.cpu_count() or 1)
+
+
 class TestUnsupportedExceptionFreshness:
     def test_each_call_raises_a_distinct_exception(self):
         runner.clear_cache()

@@ -1,0 +1,155 @@
+"""Scalar-vs-warp lane parity: the dual-path equivalence harness.
+
+Every converted workload runs twice from identical seeds - once with the
+vectorized lane forced off (the reference interpreter), once on the warp
+lane - and the two runs must agree on *everything an experiment can
+observe*: elapsed simulated time, machine stats, the full timestamped
+event stream, persisted and visible memory images byte for byte, and the
+golden-report record ``repro all`` would serialise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.diskcache import result_to_record
+from repro.gpu.warp import resolve_warp_impl, scalar_lane
+from repro.sim import event_to_record
+from repro.sim.crash import CrashInjector
+from repro.workloads.base import Mode, make_system
+from repro.workloads.binomial import BinomialConfig, BinomialOptions, pricing_kernel
+from repro.workloads.kvs import GpKvs, KvsConfig, set_kernel
+from repro.workloads.prefix_sum import (
+    PrefixSum,
+    PrefixSumConfig,
+    partial_sums_kernel,
+)
+
+
+def _run_collected(factory, mode, forced_scalar):
+    """Run a fresh workload instance, collecting the full event stream."""
+    workload = factory()
+    system = make_system(mode)
+    events = []
+    system.events.subscribe(
+        lambda ts, ev: events.append(event_to_record(ts, ev))
+    )
+    if forced_scalar:
+        with scalar_lane():
+            result = workload.run(mode, system=system)
+    else:
+        result = workload.run(mode, system=system)
+    regions = {
+        name: (region.visible.copy(),
+               None if region.persisted is None else region.persisted.copy())
+        for name, region in system.machine._regions.items()
+    }
+    return workload, result, events, regions, system
+
+
+CASES = [
+    ("ps", lambda: PrefixSum(PrefixSumConfig(n=2048, block_dim=256)),
+     [Mode.GPM, Mode.GPM_NDP, Mode.CAP_MM]),
+    ("kvs", lambda: GpKvs(KvsConfig(n_sets=512, batch_size=256, set_batches=2)),
+     [Mode.GPM, Mode.GPM_EADR, Mode.CAP_MM]),
+    # Tiny table: intra-warp same-set collisions force the sequential
+    # slot-selection fallback, including evictions.
+    ("kvs-collide", lambda: GpKvs(KvsConfig(n_sets=16, batch_size=128,
+                                            set_batches=3)),
+     [Mode.GPM]),
+    # GET batches exercise the warp-vectorized read path and the HBM mirror.
+    ("kvs-mixed", lambda: GpKvs(KvsConfig(set_batches=1, batch_size=128,
+                                          get_batches=2, get_batch_size=256)),
+     [Mode.GPM]),
+    ("bino", lambda: BinomialOptions(BinomialConfig(n_options=24, steps=16,
+                                                    block_dim=32)),
+     [Mode.GPM, Mode.CAP_MM]),
+]
+
+PARAMS = [
+    pytest.param(factory, mode, id=f"{label}-{mode.value}")
+    for label, factory, modes in CASES
+    for mode in modes
+]
+
+
+@pytest.mark.parametrize("factory,mode", PARAMS)
+def test_lanes_are_bit_identical(factory, mode):
+    ws_s, rs, ev_s, regions_s, _ = _run_collected(factory, mode, True)
+    ws_w, rw, ev_w, regions_w, _ = _run_collected(factory, mode, False)
+    # Identical launch outcome and golden-report record.
+    assert rs.elapsed == rw.elapsed
+    assert result_to_record(rs) == result_to_record(rw)
+    # Identical event streams, timestamps included.
+    assert ev_s == ev_w
+    # Identical memory state: every surviving region, both images.
+    assert regions_s.keys() == regions_w.keys()
+    for name in regions_s:
+        vis_s, per_s = regions_s[name]
+        vis_w, per_w = regions_w[name]
+        assert np.array_equal(vis_s, vis_w), f"visible image differs: {name}"
+        if per_s is None or per_w is None:
+            assert per_s is per_w, f"persistence kind differs: {name}"
+        else:
+            assert np.array_equal(per_s, per_w), f"persisted image differs: {name}"
+
+
+@pytest.mark.parametrize("factory,mode", PARAMS)
+def test_lane_attribution(factory, mode):
+    ws_w, *_ = _run_collected(factory, mode, False)
+    assert ws_w._last_lane == "warp"
+    ws_s, *_ = _run_collected(factory, mode, True)
+    assert ws_s._last_lane == "scalar"
+
+
+def test_conventional_log_ablation_stays_scalar():
+    # Fig. 11a's lock-serialised log depends on per-thread interleaving.
+    ws = GpKvs(KvsConfig(n_sets=512, batch_size=128, set_batches=1,
+                         use_hcl=False))
+    ws.run(Mode.GPM)
+    assert ws._last_lane == "scalar"
+
+
+def test_crash_injector_forces_scalar_lane():
+    # repro.check's recorders arrive through the crash_injector parameter;
+    # an armed injector must always get the reference interpreter.
+    assert resolve_warp_impl(partial_sums_kernel) is not None
+    assert resolve_warp_impl(set_kernel) is not None
+    assert resolve_warp_impl(pricing_kernel) is not None
+    ws = PrefixSum(PrefixSumConfig(n=1024, block_dim=256))
+    system = make_system(Mode.GPM)
+    injector = CrashInjector(system.machine)
+    lanes = []
+    orig = system.gpu.launch
+
+    def spy(*args, **kwargs):
+        res = orig(*args, **kwargs)
+        lanes.append(res.lane)
+        return res
+
+    system.gpu.launch = spy
+    ws.run(Mode.GPM, system=system, crash_injector=injector)
+    assert lanes and all(lane == "scalar" for lane in lanes)
+
+
+def test_forced_scalar_env(monkeypatch):
+    # REPRO_SCALAR_LANE is the process-wide escape hatch (used by CI and
+    # forked check workers); the module flag mirrors it at import time.
+    import repro.gpu.warp as warp
+
+    monkeypatch.setattr(warp, "_scalar_only", True)
+    assert resolve_warp_impl(partial_sums_kernel) is None
+
+
+def test_check_frontiers_match_either_lane():
+    # repro.check must explore the same frontier count whether or not warp
+    # implementations are registered: recording runs under an armed
+    # recorder (scalar), and only invariant-side re-runs use the warp lane.
+    from repro.check import explore
+
+    report_default = explore("prefix_sum", Mode.GPM, max_frontiers=4)
+    with scalar_lane():
+        report_scalar = explore("prefix_sum", Mode.GPM, max_frontiers=4)
+    assert report_default.frontiers_recorded == report_scalar.frontiers_recorded
+    assert len(report_default.results) == len(report_scalar.results)
+    for a, b in zip(report_default.results, report_scalar.results):
+        assert a.status == b.status

@@ -117,3 +117,41 @@ class TestCrash:
         machine.llc.install_writes(r, [0], [64])
         machine.crash()
         assert (r.visible[:64] == 9).all()
+
+
+class TestTokenKeying:
+    """Dirty lines are keyed by Region.token, never by id()."""
+
+    def test_dirty_keys_use_region_tokens(self, machine):
+        r = machine.alloc_pm("x", 1024)
+        machine.llc.install_writes(r, [0], [64])
+        assert (r.token, 0) in machine.llc._dirty
+
+    def test_leaked_region_lines_never_alias_a_reallocation(self):
+        # A mapping dropped without Machine.free leaves its dirty lines
+        # behind.  Tokens are monotonic and never reused, so the stale keys
+        # can never match a fresh region with the same line numbers - the
+        # fresh region starts clean and its flushes are free.
+        machine = Machine(SystemConfig())
+        r1 = machine.alloc_pm("leak", 1024)
+        machine.llc.install_writes(r1, [0], [256])
+        stale = len(machine.llc)
+        assert stale
+        del machine._regions["leak"]
+        del r1
+        for i in range(8):
+            r2 = machine.alloc_pm(f"fresh{i}", 1024)
+            assert machine.llc.dirty_lines(r2) == []
+            assert machine.llc.flush_range(r2, 0, 1024) == 0.0
+            machine.free(r2)
+            del r2
+        # The stale lines are still attributed to the leaked region only.
+        assert len(machine.llc) == stale
+
+    def test_free_drops_lines_before_name_reuse(self, machine):
+        r1 = machine.alloc_pm("x", 1024)
+        machine.llc.install_writes(r1, [0], [128])
+        machine.free(r1)
+        r2 = machine.alloc_pm("x", 1024)
+        assert machine.llc.dirty_lines(r2) == []
+        assert machine.llc.flush_range(r2, 0, 1024) == 0.0

@@ -71,6 +71,17 @@ class TestEngineCli:
         assert record["cold_sequential_s"] > 0
         assert record["warm_s"] < record["cold_sequential_s"]
         assert record["jobs"] == 2
+        assert 1 <= record["effective_jobs"] <= 2
+        # Per-run attribution: every leg reports its executed runs and their
+        # wall-clock; the converted workloads must be on the warp lane.
+        assert set(record["legs"]) == {"cold_sequential", "cold_parallel",
+                                       "warm"}
+        for leg in record["legs"].values():
+            assert leg["runs_executed"] == len(leg["runs_detail"])
+            for entry in leg["runs_detail"]:
+                assert entry["wall_s"] >= 0
+        assert record["execution_lanes"] == {"PS": "warp", "KVS": "warp",
+                                             "BINO": "warp"}
 
 
 class TestCheckCli:
