@@ -130,10 +130,17 @@ def _find_workload(name: str):
     raise SystemExit(f"unknown workload {name!r}; one of: {known}")
 
 
-def _cmd_workload(args) -> int:
+def _parse_mode(name: str):
     from .workloads import Mode
 
-    mode = Mode(args.mode)
+    try:
+        return Mode.from_name(name)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _cmd_workload(args) -> int:
+    mode = _parse_mode(args.mode)
     target = _find_workload(args.name)
     result = target.run(mode)
     print(f"{target.name} under {mode.value}:")
@@ -148,9 +155,8 @@ def _cmd_workload(args) -> int:
 def _cmd_trace(args) -> int:
     from .sim.events import stats_from_events
     from .sim.trace import record_events
-    from .workloads import Mode
 
-    mode = Mode(args.mode)
+    mode = _parse_mode(args.mode)
     target = _find_workload(args.name)
     with record_events() as recorder:
         result = target.run(mode)
@@ -174,9 +180,8 @@ def _cmd_check(args) -> int:
     from .check import explore, make_oracle, parse_frontier
     from .check.explorer import explore_frontier
     from .check.report import render_single
-    from .workloads import Mode
 
-    mode = Mode(args.mode)
+    mode = _parse_mode(args.mode)
     try:
         make_oracle(args.target)
     except ValueError as exc:
@@ -231,16 +236,15 @@ def main(argv=None) -> int:
     bench.add_argument("--cache-dir", default=None,
                        help="reuse this cache directory for the warm legs "
                             "(default: a throw-away temp dir)")
+    from .sim.persistency import known_mode_names
+
+    mode_help = " | ".join(known_mode_names())
     wl = sub.add_parser("workload", help="run one workload under one mode")
     wl.add_argument("name")
-    wl.add_argument("--mode", default="gpm",
-                    help="gpm | gpm-ndp | gpm-eadr | cap-fs | cap-mm | "
-                         "cap-eadr | gpufs")
+    wl.add_argument("--mode", default="gpm", help=mode_help)
     tr = sub.add_parser("trace", help="run one workload recording the event bus")
     tr.add_argument("name")
-    tr.add_argument("--mode", default="gpm",
-                    help="gpm | gpm-ndp | gpm-eadr | cap-fs | cap-mm | "
-                         "cap-eadr | gpufs")
+    tr.add_argument("--mode", default="gpm", help=mode_help)
     tr.add_argument("--out", default="reports",
                     help="directory for the JSONL + Chrome-trace files")
     ck = sub.add_parser(

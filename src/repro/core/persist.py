@@ -6,9 +6,13 @@ the I/O register perfctrlsts_0. The persistence guarantees by the library
 are valid only inside the regions marked by these routines, typically placed
 before and after a kernel launch."*
 
-On an eADR platform (Section 3.3) the window is a no-op: data is durable
-once it reaches the LLC, so DDIO can stay on - this is exactly the GPM-eADR
-configuration of Fig. 10.
+What a window *does* is the machine's persistency model's decision
+(:mod:`repro.sim.persistency`): under the strict and epoch models it is the
+DDIO toggle above; on an eADR platform (Section 3.3) it is a no-op - data is
+durable once it reaches the LLC, so DDIO can stay on (the GPM-eADR
+configuration of Fig. 10); under the adaptive model it delimits the scope
+within which write-path selection is active, and window exit flushes any
+DRAM/LLC-staged writes.
 """
 
 from __future__ import annotations
@@ -16,28 +20,25 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from ..gpu.kernel import ThreadContext
-
-#: Cost of the privileged I/O-register write that flips DDIO.
-_DDIO_TOGGLE_S = 2.0e-6
+from ..sim.persistency import DDIO_TOGGLE_S as _DDIO_TOGGLE_S  # noqa: F401 (re-export)
 
 
 def gpm_persist_begin(system) -> None:
-    """Enter a persistence window: disable DDIO for GPU writes.
+    """Enter a persistence window.
 
-    Call from the CPU before launching kernels that persist to PM.  Without
-    this (and without eADR), system-scope fences complete at the volatile
-    LLC and guarantee only visibility, not durability.
+    Call from the CPU before launching kernels that persist to PM.  The
+    machine's persistency model decides the semantics; under the default
+    strict model this disables DDIO - without it (and without eADR),
+    system-scope fences complete at the volatile LLC and guarantee only
+    visibility, not durability.
     """
-    if not system.eadr:
-        system.machine.set_ddio(False)
-        system.machine.clock.advance(_DDIO_TOGGLE_S)
+    system.machine.persistency.window_begin(system.machine)
 
 
 def gpm_persist_end(system) -> None:
-    """Leave the persistence window: restore DDIO."""
-    if not system.eadr:
-        system.machine.set_ddio(True)
-        system.machine.clock.advance(_DDIO_TOGGLE_S)
+    """Leave the persistence window (model-defined: restore DDIO, flush
+    staged writes, or nothing)."""
+    system.machine.persistency.window_end(system.machine)
 
 
 @contextmanager

@@ -82,6 +82,21 @@ def execution_lanes() -> dict[str, str]:
     return lanes
 
 
+def persistency_models() -> dict:
+    """The persistency-model landscape the benched engine ran under.
+
+    Records the registered models and each benched mode's model so future
+    mode comparisons in the trajectory can attribute results.
+    """
+    from ..sim.persistency import MODE_REGISTRY, MODEL_REGISTRY
+
+    return {
+        "registered": list(MODEL_REGISTRY),
+        "mode_to_model": {name: entry.model
+                          for name, entry in MODE_REGISTRY.items()},
+    }
+
+
 def run_bench(jobs: int = 2, smoke: bool = False,
               artefacts: list[str] | None = None,
               out: str = "BENCH_experiments.json",
@@ -124,6 +139,7 @@ def run_bench(jobs: int = 2, smoke: bool = False,
         "parallel_speedup": round(cold_seq / cold_par, 3) if cold_par else None,
         "warm_over_cold": round(warm_s / cold_seq, 4) if cold_seq else None,
         "execution_lanes": lanes,
+        "persistency_models": persistency_models(),
         "legs": {
             "cold_sequential": seq,
             "cold_parallel": par,

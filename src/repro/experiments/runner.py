@@ -191,6 +191,7 @@ def _note_timing(req: RunRequest, payload: dict) -> None:
     if wall is not None:
         _run_timings.append({
             "workload": req.workload, "mode": req.mode.value,
+            "persistency": req.mode.persistency_model,
             "profiled": req.profiled, "wall_s": round(float(wall), 3),
         })
 

@@ -38,7 +38,14 @@ import math
 import numpy as np
 
 from ..sim.crash import CrashInjector
-from ..sim.events import HbmWrite, KernelLaunch, PcieWrite, SystemFence, WarpDrain
+from ..sim.events import (
+    EpochBoundary,
+    HbmWrite,
+    KernelLaunch,
+    PcieWrite,
+    SystemFence,
+    WarpDrain,
+)
 from ..sim.machine import Machine
 from ..sim.memory import MemKind, Region
 from ..sim.optane import merge_segments
@@ -60,12 +67,23 @@ class _BlockEngine:
     def __init__(self, machine: Machine, acct: LaunchAccounting) -> None:
         self.machine = machine
         self.acct = acct
+        #: fence ordering applied this launch - the machine's persistency
+        #: model decides (strict: every fence is its own ordered drain
+        #: round; epoch: fences coalesce per epoch, ordering only across
+        #: barriers; relaxed: durability only at kernel completion).
+        self.policy = machine.persistency.fence_policy
         self._buffers: dict[int, _WarpDrainBuffer] = {}
         self._warp_rounds: dict[int, int] = {}
         self._warps_with_writes: set[int] = set()
         #: fences completed this launch; emitted as one batched SystemFence
         #: event at finish() so the per-fence hot path is a counter bump.
         self._fence_count = 0
+        #: epoch-policy state: the open epoch's ordinal, whether it saw any
+        #: fences, and the last epoch each warp fenced in (to count each
+        #: warp's drain rounds as epochs-with-fences, not fences).
+        self._epoch = 1
+        self._epoch_dirty = False
+        self._warp_epoch_seen: dict[int, int] = {}
 
     # -- metering (called by ThreadContext) -------------------------------
 
@@ -94,12 +112,26 @@ class _BlockEngine:
     def fence(self, ctx: ThreadContext) -> None:
         self.acct.fences += 1
         self._fence_count += 1
-        ctx._round += 1
         warp = ctx.tid.warp_global
-        self._warp_rounds[warp] = max(self._warp_rounds.get(warp, 0), ctx._round)
+        if self.policy == "relaxed":
+            # Durability only at kernel completion: the fence costs nothing
+            # and orders nothing; pending stores ride to the implicit round.
+            return
+        if self.policy == "epoch":
+            # Fences within one epoch coalesce into a single drain round;
+            # a warp pays one RTT per epoch it fences in, not per fence.
+            if self._warp_epoch_seen.get(warp) != self._epoch:
+                self._warp_epoch_seen[warp] = self._epoch
+                self._warp_rounds[warp] = self._warp_rounds.get(warp, 0) + 1
+            self._epoch_dirty = True
+            round_no = self._epoch
+        else:
+            ctx._round += 1
+            self._warp_rounds[warp] = max(self._warp_rounds.get(warp, 0), ctx._round)
+            round_no = ctx._round
         if ctx._pending:
             buf = self._buffers.setdefault(warp, _WarpDrainBuffer())
-            buf.add_many(ctx._round, ctx._pending)
+            buf.add_many(round_no, ctx._pending)
             ctx._pending.clear()
             self._warps_with_writes.add(warp)
 
@@ -126,6 +158,21 @@ class _BlockEngine:
         for warp in list(self._buffers):
             self.flush_warp(warp)
 
+    def epoch_boundary(self) -> None:
+        """Close the open epoch (block barrier / kernel completion).
+
+        Only meaningful under epoch-policy models, and only when the epoch
+        initiated persists: emits :class:`EpochBoundary` - the frontier at
+        which epoch-persistency ordering becomes observable - and opens the
+        next epoch.  Callers flush first, so the boundary lands after the
+        epoch's drains in the event stream.
+        """
+        if self.policy != "epoch" or not self._epoch_dirty:
+            return
+        self.machine.events.emit(EpochBoundary(epoch=self._epoch))
+        self._epoch += 1
+        self._epoch_dirty = False
+
     def _deliver(self, region: Region, starts, lengths,
                  round_no: int = 0) -> None:
         # The scalar lane buffers lists of ints, the warp lane lists of
@@ -146,10 +193,16 @@ class _BlockEngine:
 
     def finish(self) -> None:
         self.flush_all()
+        self.epoch_boundary()
         if self._fence_count:
             self.machine.events.emit(SystemFence(count=self._fence_count))
             self._fence_count = 0
-        self.acct.max_warp_rounds = max(self._warp_rounds.values(), default=0)
+        if (self.policy == "relaxed" and self.acct.fences
+                and self._warps_with_writes):
+            # All persist traffic drains as one round at kernel completion.
+            self.acct.max_warp_rounds = 1
+        else:
+            self.acct.max_warp_rounds = max(self._warp_rounds.values(), default=0)
         self.acct.warps_with_host_writes = len(self._warps_with_writes)
 
 
@@ -289,8 +342,10 @@ class Gpu:
                     retired += 1
                     newly += 1
             # Barrier (or block end): all fenced batches become visible in
-            # program order before any post-barrier store.
+            # program order before any post-barrier store.  Under epoch
+            # persistency the barrier also closes the epoch.
             engine.flush_all()
+            engine.epoch_boundary()
             if injector is not None:
                 injector.advance(newly)
             active = still
@@ -334,6 +389,7 @@ class Gpu:
                     wctx._retire()
                     retired += wctx.n
             engine.flush_all()
+            engine.epoch_boundary()
             running = still
         return retired
 

@@ -349,6 +349,13 @@ class WarpContext:
         eng = self._engine
         eng.acct.fences += k
         eng._fence_count += k
+        if eng.policy == "relaxed":
+            # Mirror of the scalar engine's relaxed fence: no ordering, no
+            # round; pending stores ride to the implicit round at retire.
+            return
+        if eng.policy == "epoch":
+            self._persist_epoch(sel)
+            return
         rounds = self._rounds
         rounds[sel] += 1
         warp = self.warp_global
@@ -378,6 +385,40 @@ class WarpContext:
                 for r in uniq.tolist():
                     sub = d_rounds == r
                     buf.add_arrays(int(r), region, d_starts[sub], d_lengths[sub])
+            if not drain.all():
+                keep = ~drain
+                still.append((region, starts[keep], lengths[keep], lsel[keep]))
+        self._pending = still
+        if buf is not None:
+            eng._warps_with_writes.add(warp)
+
+    def _persist_epoch(self, sel) -> None:
+        """Epoch-policy fence: drain fencing lanes under the open epoch.
+
+        The warp-lane mirror of ``_BlockEngine.fence``'s epoch branch: all
+        fences within one epoch share one drain round (the epoch ordinal),
+        and the warp's round count advances once per epoch it fences in.
+        """
+        eng = self._engine
+        warp = self.warp_global
+        if eng._warp_epoch_seen.get(warp) != eng._epoch:
+            eng._warp_epoch_seen[warp] = eng._epoch
+            eng._warp_rounds[warp] = eng._warp_rounds.get(warp, 0) + 1
+        eng._epoch_dirty = True
+        if not self._pending:
+            return
+        fencing = np.zeros(self.n, dtype=bool)
+        fencing[sel] = True
+        buf = None
+        still = []
+        for region, starts, lengths, lsel in self._pending:
+            drain = fencing[lsel]
+            if not drain.any():
+                still.append((region, starts, lengths, lsel))
+                continue
+            if buf is None:
+                buf = eng._buffers.setdefault(warp, _WarpDrainBuffer())
+            buf.add_arrays(eng._epoch, region, starts[drain], lengths[drain])
             if not drain.all():
                 keep = ~drain
                 still.append((region, starts[keep], lengths[keep], lsel[keep]))

@@ -23,17 +23,44 @@ from .machine import Machine
 from .memory import CRASH_POISON, MemKind, Region
 from .optane import OptaneModel, merge_segments
 from .pcie import PcieModel
+from .persistency import (
+    MODE_REGISTRY,
+    MODEL_REGISTRY,
+    AdaptivePath,
+    EadrStrict,
+    Epoch,
+    ModeEntry,
+    PersistencyModel,
+    Relaxed,
+    Strict,
+    known_mode_names,
+    known_models,
+    make_model,
+    mode_entry,
+    register_mode,
+    register_model,
+    resolve_model,
+)
 from .stats import MachineStats, WindowedStats
 from .trace import ProfileSink, ProfileSummary, TraceRecorder, load_jsonl, record_events
 
 __all__ = [
+    "AdaptivePath",
     "CRASH_POISON",
     "CrashInjector",
     "DEFAULT_CONFIG",
     "EVENT_TYPES",
+    "EadrStrict",
+    "Epoch",
     "Event",
     "EventBus",
+    "MODE_REGISTRY",
+    "MODEL_REGISTRY",
     "Machine",
+    "ModeEntry",
+    "PersistencyModel",
+    "Relaxed",
+    "Strict",
     "MachineStats",
     "MemKind",
     "OptaneModel",
@@ -50,8 +77,15 @@ __all__ = [
     "WindowedStats",
     "event_from_record",
     "event_to_record",
+    "known_mode_names",
+    "known_models",
     "load_jsonl",
+    "make_model",
     "merge_segments",
+    "mode_entry",
     "record_events",
+    "register_mode",
+    "register_model",
+    "resolve_model",
     "stats_from_events",
 ]

@@ -112,6 +112,24 @@ class WarpDrain(Event):
 
 @_register
 @dataclass(slots=True)
+class EpochBoundary(Event):
+    """An epoch-persistency epoch closed (barrier or kernel completion).
+
+    Emitted by the SIMT engine only under models whose ``fence_policy`` is
+    ``"epoch"``, and only when the closing epoch initiated any persists.
+    Between two boundaries, fences are unordered among themselves; crossing
+    one is the moment ordering becomes observable - hence the dedicated
+    frontier kind, which gives every epoch model crash-state exploration at
+    exactly these points for free.
+    """
+
+    etype = "epoch_boundary"
+    frontier_kind = "epoch-boundary"
+    epoch: int = 0
+
+
+@_register
+@dataclass(slots=True)
 class HbmWrite(Event):
     etype = "hbm_write"
     nbytes: int = 0

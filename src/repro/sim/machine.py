@@ -45,14 +45,19 @@ from .events import (
 from .memory import MemKind, Region
 from .optane import OptaneModel
 from .pcie import PcieModel
+from .persistency import PersistencyModel, resolve_model
 
 
 class Machine:
     """One simulated Xeon + Optane + GPU platform."""
 
-    def __init__(self, config: SystemConfig = DEFAULT_CONFIG, eadr: bool = False) -> None:
+    def __init__(self, config: SystemConfig = DEFAULT_CONFIG, eadr: bool = False,
+                 persistency: PersistencyModel | str | None = None) -> None:
         self.config = config
-        self.eadr = eadr
+        #: The machine's persistency model - ordering, persist-domain and
+        #: data-path rules (``repro.sim.persistency``).  The legacy ``eadr``
+        #: boolean is a deprecation shim resolved by ``resolve_model``.
+        self.persistency = resolve_model(persistency, eadr=eadr)
         self.clock = SimClock()
         #: The hardware event bus; ``stats`` is its first subscriber.
         self.events = EventBus(self.clock)
@@ -67,6 +72,12 @@ class Machine:
         self.ddio_enabled = True
         self.crash_count = 0
         self._regions: dict[str, Region] = {}
+        self.persistency.attach(self)
+
+    @property
+    def eadr(self) -> bool:
+        """Whether the LLC is inside the persistence domain (model-owned)."""
+        return self.persistency.eadr
 
     # -- allocation ------------------------------------------------------
 
@@ -135,6 +146,10 @@ class Machine:
             total = int(np.sum(np.atleast_1d(np.asarray(lengths, dtype=np.int64))))
             self.events.emit(DramWrite(nbytes=total, source="gpu"))
             return 0.0
+        if self.persistency.adaptive:
+            routed = self.persistency.route_io_write(self, region, starts, lengths)
+            if routed is not None:
+                return routed
         if self.ddio_enabled:
             self.llc.install_writes(region, starts, lengths)
             return 0.0
@@ -194,6 +209,7 @@ class Machine:
         for region in self._regions.values():
             region.crash()
         self.optane.reset_stream()
+        self.persistency.reset_after_crash()
         self.ddio_enabled = True
         self.crash_count += 1
 

@@ -23,13 +23,20 @@ class System:
     config:
         Hardware constants; defaults model the paper's Table 3 testbed.
     eadr:
-        Model the projected eADR platform of Section 6.1 ("Analyzing GPM's
-        performance and eADR"): the LLC joins the persistence domain, so
-        persistence no longer requires flushing or disabling DDIO.
+        Deprecated shim for ``persistency="eadr"``: model the projected
+        eADR platform of Section 6.1 ("Analyzing GPM's performance and
+        eADR"), where the LLC joins the persistence domain so persistence
+        no longer requires flushing or disabling DDIO.
+    persistency:
+        The machine's :class:`~repro.sim.persistency.PersistencyModel` - a
+        registered model name (``"strict"``, ``"eadr"``, ``"epoch"``,
+        ``"relaxed"``, ``"adaptive"``), a model instance, or ``None`` for
+        the default (``strict``, or ``eadr`` when ``eadr=True``).
     """
 
-    def __init__(self, config: SystemConfig = DEFAULT_CONFIG, eadr: bool = False) -> None:
-        self.machine = Machine(config, eadr=eadr)
+    def __init__(self, config: SystemConfig = DEFAULT_CONFIG, eadr: bool = False,
+                 persistency=None) -> None:
+        self.machine = Machine(config, eadr=eadr, persistency=persistency)
         self.gpu = Gpu(self.machine)
         self.cpu = Cpu(self.machine)
         self.fs = DaxFilesystem(self.machine)
@@ -55,6 +62,11 @@ class System:
     @property
     def eadr(self) -> bool:
         return self.machine.eadr
+
+    @property
+    def persistency(self):
+        """The machine's persistency model (see :mod:`repro.sim.persistency`)."""
+        return self.machine.persistency
 
     def crash(self) -> None:
         """Power-fail the whole platform (volatile state is lost)."""

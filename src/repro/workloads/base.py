@@ -35,34 +35,64 @@ from ..host.cap import CapEngine, CapMode
 from ..host.filesystem import PmFile
 from ..host.gpufs import GpuFs, GpufsUnsupported
 from ..sim.events import WindowMark
+from ..sim.persistency import make_model, mode_entry
 from ..sim.stats import MachineStats, WindowedStats
 from ..system import System
 
 
 class Mode(enum.Enum):
-    """Persistence system under test."""
+    """Persistence system under test.
+
+    A thin enum view over the single source of truth,
+    ``repro.sim.persistency.MODE_REGISTRY``: every member's value is a
+    registry key, and the data-path properties below are registry lookups.
+    """
 
     GPM = "gpm"
     GPM_NDP = "gpm-ndp"
     GPM_EADR = "gpm-eadr"
+    GPM_EPOCH = "gpm-epoch"
+    GPM_RELAXED = "gpm-relaxed"
+    GPM_ADAPTIVE = "gpm-adaptive"
     CAP_FS = "cap-fs"
     CAP_MM = "cap-mm"
     CAP_EADR = "cap-eadr"
     GPUFS = "gpufs"
 
+    @classmethod
+    def from_name(cls, name: str) -> "Mode":
+        """Resolve a mode string; unknown names error with the known set."""
+        mode_entry(name)  # raises ValueError listing known names
+        return cls(name)
+
+    @property
+    def entry(self):
+        """This mode's :class:`~repro.sim.persistency.ModeEntry`."""
+        return mode_entry(self.value)
+
+    @property
+    def persistency_model(self) -> str:
+        """Name of the persistency model the mode's machines run under."""
+        return self.entry.model
+
     @property
     def data_on_pm(self) -> bool:
         """Do kernels load/store PM directly in this mode?"""
-        return self in (Mode.GPM, Mode.GPM_NDP, Mode.GPM_EADR)
+        return self.entry.data_on_pm
 
     @property
     def in_kernel_persist(self) -> bool:
         """Do kernels guarantee persistence themselves?"""
-        return self in (Mode.GPM, Mode.GPM_EADR)
+        return self.entry.in_kernel_persist
+
+    @property
+    def uses_persist_window(self) -> bool:
+        """Does ``ModeDriver`` open a persist window around kernel phases?"""
+        return self.entry.uses_persist_window
 
     @property
     def needs_eadr(self) -> bool:
-        return self in (Mode.GPM_EADR, Mode.CAP_EADR)
+        return self.entry.needs_eadr
 
 
 class Category(enum.Enum):
@@ -94,7 +124,7 @@ class RunResult:
 
 
 def make_system(mode: Mode) -> System:
-    """A fresh platform appropriate for the mode (eADR where projected).
+    """A fresh platform carrying the mode's persistency model.
 
     Reads ``repro.sim.config.DEFAULT_CONFIG`` dynamically so ablations that
     swap the module-level default build the machine they asked for (the
@@ -102,7 +132,8 @@ def make_system(mode: Mode) -> System:
     """
     from ..sim import config as _config
 
-    return System(config=_config.DEFAULT_CONFIG, eadr=mode.needs_eadr)
+    return System(config=_config.DEFAULT_CONFIG,
+                  persistency=make_model(mode.persistency_model))
 
 
 class CrashConsistent:
@@ -140,11 +171,11 @@ class ModeDriver:
 
     def persist_phase_begin(self) -> None:
         """Open the in-kernel persistence window where the mode has one."""
-        if self.mode is Mode.GPM:
+        if self.mode.uses_persist_window:
             gpm_persist_begin(self.system)
 
     def persist_phase_end(self) -> None:
-        if self.mode is Mode.GPM:
+        if self.mode.uses_persist_window:
             gpm_persist_end(self.system)
 
     # -- buffers -------------------------------------------------------------

@@ -47,10 +47,15 @@ def _run_collected(factory, mode, forced_scalar):
 
 
 CASES = [
+    # The persistency-model modes ride the same harness: parity must hold
+    # under every fence policy (strict, epoch, relaxed) and data path
+    # (direct, adaptive staged), not just the seed's strict model.
     ("ps", lambda: PrefixSum(PrefixSumConfig(n=2048, block_dim=256)),
-     [Mode.GPM, Mode.GPM_NDP, Mode.CAP_MM]),
+     [Mode.GPM, Mode.GPM_NDP, Mode.CAP_MM,
+      Mode.GPM_EPOCH, Mode.GPM_RELAXED, Mode.GPM_ADAPTIVE]),
     ("kvs", lambda: GpKvs(KvsConfig(n_sets=512, batch_size=256, set_batches=2)),
-     [Mode.GPM, Mode.GPM_EADR, Mode.CAP_MM]),
+     [Mode.GPM, Mode.GPM_EADR, Mode.CAP_MM,
+      Mode.GPM_EPOCH, Mode.GPM_RELAXED, Mode.GPM_ADAPTIVE]),
     # Tiny table: intra-warp same-set collisions force the sequential
     # slot-selection fallback, including evictions.
     ("kvs-collide", lambda: GpKvs(KvsConfig(n_sets=16, batch_size=128,

@@ -34,8 +34,22 @@ class TestCli:
             main(["workload", "nope"])
 
     def test_workload_bad_mode(self):
-        with pytest.raises(ValueError):
+        # Unknown modes exit through the registry with the known names.
+        with pytest.raises(SystemExit) as err:
             main(["workload", "PS", "--mode", "warp-drive"])
+        msg = str(err.value)
+        assert "warp-drive" in msg and "gpm-epoch" in msg and "cap-mm" in msg
+
+    def test_workload_persistency_model_modes(self, capsys):
+        assert main(["workload", "PS", "--mode", "gpm-epoch"]) == 0
+        assert "PS under gpm-epoch" in capsys.readouterr().out
+        assert main(["workload", "PS", "--mode", "gpm-adaptive"]) == 0
+        assert "PS under gpm-adaptive" in capsys.readouterr().out
+
+    def test_check_epoch_mode(self, capsys):
+        assert main(["check", "prefix_sum", "--mode", "gpm-epoch",
+                     "--max-frontiers", "4"]) == 0
+        assert "prefix_sum" in capsys.readouterr().out
 
 
 class TestEngineCli:
