@@ -176,11 +176,65 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_check_litmus(args) -> int:
+    from .check.litmus import run_campaign
+
+    _setup_engine(args)
+    report = run_campaign(args.litmus, args.seed, jobs=args.jobs,
+                          max_frontiers=args.litmus_frontiers,
+                          corpus=not args.no_corpus)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _cmd_check_litmus_replay(args) -> int:
+    from .check.litmus import config_matrix, execute_point, generate_test
+    from .check.report import litmus_reproducer_command
+
+    seed, sep, index = args.litmus_replay.partition(":")
+    if not sep or not seed.lstrip("-").isdigit() or not index.isdigit():
+        raise SystemExit(f"--litmus-replay wants SEED:INDEX, "
+                         f"got {args.litmus_replay!r}")
+    test = generate_test(int(seed), int(index))
+    print(test.describe())
+    for p, phase in enumerate(test.phases):
+        steps = " ".join(
+            f"w(r{s[1]},slot{s[2]}+)" if s[0] == "write" else "fence"
+            for s in phase)
+        print(f"  phase {p}: {steps}")
+    specs = ([args.litmus_config] if args.litmus_config
+             else [pt.spec() for pt in config_matrix()])
+    failed = 0
+    for spec in specs:
+        result = execute_point(test.payload(), spec, mutant=args.mutant,
+                               max_frontiers=args.litmus_frontiers,
+                               frontier_spec=args.frontier)
+        if result["ok"]:
+            print(f"  {spec}: ok "
+                  f"({result['frontiers_explored']} crash states)")
+            continue
+        failed += 1
+        print(f"  {spec}: FAIL")
+        for v in result["violations"]:
+            print(f"    {v['name']} at {v['frontier']}: {v['detail']}")
+            print("    reproduce: " + litmus_reproducer_command(
+                test.seed, test.index, spec, v["frontier"], args.mutant))
+    print("PASS" if not failed else f"FAIL ({failed}/{len(specs)} configs)")
+    return 0 if not failed else 1
+
+
 def _cmd_check(args) -> int:
     from .check import explore, make_oracle, parse_frontier
     from .check.explorer import explore_frontier
     from .check.report import render_single
 
+    if args.litmus_replay:
+        return _cmd_check_litmus_replay(args)
+    if args.litmus:
+        return _cmd_check_litmus(args)
+    if not args.target:
+        raise SystemExit("check: name a target, or use --litmus N / "
+                         "--litmus-replay SEED:INDEX")
     mode = _parse_mode(args.mode)
     try:
         make_oracle(args.target)
@@ -249,9 +303,9 @@ def main(argv=None) -> int:
                     help="directory for the JSONL + Chrome-trace files")
     ck = sub.add_parser(
         "check", help="systematically crash a target at every frontier")
-    ck.add_argument("target",
+    ck.add_argument("target", nargs="?", default=None,
                     help="prefix_sum | kvs | checkpointed-dnn | hashmap | "
-                         "ring | broken-demo")
+                         "ring | broken-demo (omit with --litmus)")
     ck.add_argument("--mode", default="gpm",
                     help="persistence mode to explore (default: gpm)")
     ck.add_argument("--max-frontiers", type=int, default=128,
@@ -262,6 +316,32 @@ def main(argv=None) -> int:
                     help="parallel worker processes")
     ck.add_argument("--frontier", metavar="SPEC",
                     help="replay one crash, e.g. event:17 or threads:113")
+    ck.add_argument("--litmus", type=int, metavar="N", default=0,
+                    help="fuzz N generated litmus tests across the full "
+                         "persistency config matrix")
+    ck.add_argument("--seed", type=int, default=0,
+                    help="litmus generator seed (same seed, same tests)")
+    ck.add_argument("--litmus-replay", metavar="SEED:INDEX",
+                    help="re-generate one litmus test and re-judge it "
+                         "(with --litmus-config / --frontier / --mutant "
+                         "from a failure's reproducer line)")
+    ck.add_argument("--litmus-config", metavar="SPEC",
+                    help="one matrix point, e.g. strict:window:adr")
+    ck.add_argument("--mutant", default=None,
+                    help="arm a sentinel mutant during the replay "
+                         "(fence-order | epoch-boundary)")
+    from .check.litmus import DEFAULT_LITMUS_FRONTIERS
+
+    ck.add_argument("--litmus-frontiers", type=int,
+                    default=DEFAULT_LITMUS_FRONTIERS,
+                    help="crash-state budget per (test, config) point on "
+                         "top of the always-explored ordering frontiers")
+    ck.add_argument("--no-corpus", action="store_true",
+                    help="skip the seed-corpus pin stage")
+    ck.add_argument("--cache-dir", default=None,
+                    help="persistent litmus verdict cache directory")
+    ck.add_argument("--no-cache", action="store_true",
+                    help="do not read or write the persistent cache")
     args = parser.parse_args(argv)
     return {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
             "bench": _cmd_bench, "workload": _cmd_workload,

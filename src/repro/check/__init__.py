@@ -18,11 +18,26 @@ Modules
                checkpointed-dnn, hashmap, ring, broken-demo)
 ``explorer``   the :class:`CrashExplorer` replay loop + multiprocessing
 ``report``     human-readable reports with replayable reproducer commands
+``litmus``     the persistency-litmus fuzzer: seeded generated tests, the
+               outcome oracle, and the :class:`LitmusExplorer` config-matrix
+               fan-out with sentinel-mutant self-checks
 
-CLI: ``python -m repro check <target>`` (see ``docs/crash-consistency.md``).
+CLI: ``python -m repro check <target>`` or ``--litmus N --seed S``
+(see ``docs/crash-consistency.md``).
 """
 
 from .explorer import CrashExplorer, ExploreReport, FrontierResult, explore
+from .litmus import (
+    ConfigPoint,
+    LitmusExplorer,
+    LitmusReport,
+    LitmusTest,
+    config_matrix,
+    execute_point,
+    generate_test,
+    parse_config_point,
+    run_campaign,
+)
 from .frontier import (
     Frontier,
     FrontierRecorder,
@@ -35,6 +50,7 @@ from .oracles import CHECK_TARGETS, make_oracle
 
 __all__ = [
     "CHECK_TARGETS",
+    "ConfigPoint",
     "CrashExplorer",
     "CrashOracle",
     "ExploreReport",
@@ -43,10 +59,18 @@ __all__ = [
     "FrontierResult",
     "InvariantCheck",
     "InvariantVerdict",
+    "LitmusExplorer",
+    "LitmusReport",
+    "LitmusTest",
     "RunObservation",
+    "config_matrix",
+    "execute_point",
     "explore",
     "format_frontier",
+    "generate_test",
     "make_oracle",
+    "parse_config_point",
     "parse_frontier",
     "prune_frontiers",
+    "run_campaign",
 ]

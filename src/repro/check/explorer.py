@@ -31,6 +31,10 @@ class FrontierResult:
     status: str                      # "ok" | "violation" | "error" | "no-crash"
     verdicts: list[InvariantVerdict] = field(default_factory=list)
     error: str = ""
+    #: Generating coordinates of this crash state (litmus ``seed``/
+    #: ``index``/``config``, ...) so a failure report prints its one-line
+    #: reproducer without re-running the exploration.
+    provenance: dict = field(default_factory=dict)
 
     @property
     def failed_verdicts(self) -> list[InvariantVerdict]:
@@ -45,6 +49,7 @@ class ExploreReport:
     mode: Mode
     frontiers_recorded: int
     results: list[FrontierResult] = field(default_factory=list)
+    provenance: dict = field(default_factory=dict)
 
     @property
     def frontiers_explored(self) -> int:
@@ -72,14 +77,23 @@ class ExploreReport:
         return render_report(self)
 
 
-def explore_frontier(target: str, mode_value: str,
-                     frontier: Frontier) -> FrontierResult:
+def explore_frontier(target: str, mode_value: str, frontier: Frontier,
+                     provenance: dict | None = None) -> FrontierResult:
     """Crash ``target`` at one frontier, recover, evaluate invariants.
 
     Module-level and picklable (multiprocessing fan-out), and the direct
     implementation of a ``--frontier`` reproducer: the outcome is a pure
-    function of the three arguments.
+    function of the arguments.  ``provenance`` (the generating seed/config
+    when a generator produced this crash state) rides along on the result
+    and the recovery report, so failures can print exact reproducers
+    without re-exploring.
     """
+    provenance = dict(provenance or {})
+
+    def result(status: str, verdicts=(), error: str = "") -> FrontierResult:
+        return FrontierResult(frontier, status, list(verdicts), error,
+                              provenance=provenance)
+
     mode = Mode(mode_value)
     oracle = make_oracle(target)
     system = oracle.build_system(mode)
@@ -91,42 +105,41 @@ def explore_frontier(target: str, mode_value: str,
     elif frontier.mechanism == "threads":
         injector.arm(frontier.value)
     else:
-        return FrontierResult(frontier, "error",
-                              error=f"unknown mechanism {frontier.mechanism!r}")
+        return result("error",
+                      error=f"unknown mechanism {frontier.mechanism!r}")
     crashed = False
     try:
         oracle.execute(system, mode, injector)
     except SimulatedCrash:
         crashed = True
     except Exception as exc:
-        return FrontierResult(
-            frontier, "error",
-            error=f"run raised {type(exc).__name__}: {exc}")
+        return result("error", error=f"run raised {type(exc).__name__}: {exc}")
     finally:
         injector.disarm()
         system.events.unsubscribe(observation)
     if not crashed:
         # A deterministic replay must crash where the reference run said it
         # would; reaching completion means determinism itself broke.
-        return FrontierResult(frontier, "no-crash",
-                              error="armed frontier never fired")
+        return result("no-crash", error="armed frontier never fired")
     system.machine.drop_volatile_regions()
     try:
-        oracle.recover(system, mode)
+        oracle.recover(system, mode,
+                       provenance={**provenance,
+                                   "frontier": frontier.spec()}
+                       if provenance else None)
     except Exception as exc:
-        return FrontierResult(
-            frontier, "error",
-            error=f"recovery raised {type(exc).__name__}: {exc}")
+        return result("error",
+                      error=f"recovery raised {type(exc).__name__}: {exc}")
     try:
         checks = normalize_invariants(
             oracle.declare_invariants(system, mode, observation))
     except Exception as exc:
-        return FrontierResult(
-            frontier, "error",
+        return result(
+            "error",
             error=f"declare_invariants raised {type(exc).__name__}: {exc}")
     verdicts = [check.evaluate() for check in checks]
     status = "ok" if all(v.ok for v in verdicts) else "violation"
-    return FrontierResult(frontier, status, verdicts)
+    return result(status, verdicts)
 
 
 class CrashExplorer:
@@ -134,12 +147,16 @@ class CrashExplorer:
 
     def __init__(self, target: str, mode: Mode = Mode.GPM,
                  max_frontiers: int = DEFAULT_MAX_FRONTIERS,
-                 window_samples: int = 3, jobs: int = 1) -> None:
+                 window_samples: int = 3, jobs: int = 1,
+                 provenance: dict | None = None) -> None:
         self.target = target
         self.mode = mode
         self.max_frontiers = max_frontiers
         self.window_samples = window_samples
         self.jobs = max(1, jobs)
+        #: Generating coordinates (litmus seed/config) stamped onto every
+        #: FrontierResult and RecoveryReport this exploration produces.
+        self.provenance = dict(provenance or {})
 
     def record(self) -> list[Frontier]:
         """One uninjected reference run, observed end to end."""
@@ -157,7 +174,8 @@ class CrashExplorer:
     def explore(self) -> ExploreReport:
         frontiers = self.record()
         chosen = prune_frontiers(frontiers, self.max_frontiers)
-        args = [(self.target, self.mode.value, f) for f in chosen]
+        args = [(self.target, self.mode.value, f, self.provenance)
+                for f in chosen]
         if self.jobs > 1 and len(chosen) > 1:
             import multiprocessing as mp
 
@@ -168,6 +186,7 @@ class CrashExplorer:
         return ExploreReport(
             target=self.target, mode=self.mode,
             frontiers_recorded=len(frontiers), results=list(results),
+            provenance=dict(self.provenance),
         )
 
 

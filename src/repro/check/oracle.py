@@ -117,10 +117,11 @@ class CrashOracle:
                                    system, mode: Mode) -> None:
         """Claim path prefixes needing application recovery (optional)."""
 
-    def recover(self, system, mode: Mode) -> RecoveryReport:
+    def recover(self, system, mode: Mode,
+                provenance: dict | None = None) -> RecoveryReport:
         manager = RecoveryManager(system)
         self.register_recovery_handlers(manager, system, mode)
-        return manager.run()
+        return manager.run(provenance=provenance)
 
     def declare_invariants(self, system, mode: Mode,
                            observation: RunObservation) -> list:

@@ -41,6 +41,11 @@ class RecoveryAction:
 @dataclass
 class RecoveryReport:
     actions: list[RecoveryAction] = field(default_factory=list)
+    #: Where this crash state came from (e.g. a litmus test's generating
+    #: ``seed``/``index``/``config``) - carried so a failure downstream can
+    #: print its one-line reproducer without re-running the exploration.
+    #: Also surfaced as ``paths("provenance")`` rows.
+    provenance: dict = field(default_factory=dict)
 
     @property
     def total_elapsed(self) -> float:
@@ -85,9 +90,20 @@ class RecoveryManager:
 
     # ------------------------------------------------------------------
 
-    def run(self) -> RecoveryReport:
-        """Survey PM, recover everything recoverable, report each step."""
+    def run(self, provenance: dict | None = None) -> RecoveryReport:
+        """Survey PM, recover everything recoverable, report each step.
+
+        ``provenance`` (e.g. ``{"seed": 7, "config": "strict:window:adr"}``)
+        is recorded on the report and mirrored as zero-cost ``provenance``
+        actions, so ``report.paths("provenance")`` names the generating
+        coordinates of the crash state being recovered.
+        """
         report = RecoveryReport()
+        if provenance:
+            report.provenance = dict(provenance)
+            for key, value in provenance.items():
+                report.actions.append(RecoveryAction(
+                    f"{key}={value}", "provenance"))
         reports = survey(self.system)
         flags_active = {
             r.path: r.detail.get("transaction_active", False)

@@ -265,6 +265,38 @@ class ResultCache:
             )
         return path
 
+    # -- litmus points ---------------------------------------------------
+
+    def litmus_path(self, task: tuple, config: SystemConfig) -> str:
+        """Cache path for one ``(test_payload, point_spec, mutant,
+        max_frontiers)`` litmus task (see ``repro.check.litmus``)."""
+        test_payload, point_spec, mutant, max_frontiers = task
+        digest = self._digest("litmus", point_spec, config,
+                              test=test_payload, mutant=mutant or "",
+                              max_frontiers=max_frontiers)
+        slug = _slug(f"{test_payload['seed']}-{test_payload['index']}"
+                     f"-{point_spec}" + (f"-{mutant}" if mutant else ""))
+        return os.path.join(self.directory,
+                            f"litmus-{slug}-{digest[:16]}.json")
+
+    def load_litmus(self, task: tuple, config: SystemConfig) -> dict | None:
+        """The stored litmus verdict payload, or ``None`` on miss."""
+        path = self.litmus_path(task, config)
+        payload = self._load(path)
+        if payload is None or "ok" not in payload:
+            return None
+        return payload
+
+    def store_litmus(self, task: tuple, config: SystemConfig,
+                     payload: dict) -> str:
+        test_payload, point_spec, mutant, _ = task
+        return self._store(
+            self.litmus_path(task, config), payload,
+            litmus=f"{test_payload['seed']}:{test_payload['index']}",
+            point=point_spec, mutant=mutant or "",
+            config_digest=config_digest(config),
+        )
+
     # -- artefact tables -------------------------------------------------
 
     def load_table(self, artefact: str,

@@ -267,6 +267,54 @@ def _execute(workload: str, mode_value: str, profiled: bool,
                 "wall_s": time.perf_counter() - start}
 
 
+def _execute_litmus(test_payload: dict, point_spec: str, mutant: str | None,
+                    max_frontiers: int,
+                    config: SystemConfig | None = None) -> dict:
+    """Run one litmus (test, config-point, mutant) fresh; pool-dispatchable.
+
+    Imported lazily both ways (``repro.check.litmus`` calls
+    :func:`run_litmus_batch`, which dispatches back here) to keep the
+    check/experiments layers import-cycle-free.
+    """
+    adopt_config(config)
+    from ..check.litmus import execute_point
+
+    return execute_point(test_payload, point_spec, mutant=mutant,
+                         max_frontiers=max_frontiers)
+
+
+def run_litmus_batch(tasks: list[tuple], jobs: int | None = None) -> list[dict]:
+    """Satisfy a batch of litmus tasks: disk cache, else (parallel) runs.
+
+    Each task is ``(test_payload, point_spec, mutant, max_frontiers)`` -
+    plain JSON-able values, exactly what one :func:`_execute_litmus` call
+    takes and what keys the disk cache (so repeated matrix points across
+    fuzzing sessions are free).  Misses fan out over the engine's shared
+    fork pool with ``chunksize=1``, like workload prefetches.
+    """
+    config = _current_config()
+    results: list[dict | None] = [None] * len(tasks)
+    pending: list[int] = []
+    for i, task in enumerate(tasks):
+        payload = _disk_cache.load_litmus(task, config) if _disk_cache else None
+        if payload is not None:
+            results[i] = payload
+        else:
+            pending.append(i)
+    jobs = effective_jobs(_default_jobs if jobs is None else int(jobs))
+    if jobs > 1 and len(pending) > 1:
+        args = [tasks[i] + (config,) for i in pending]
+        payloads = shared_pool(jobs).starmap(_execute_litmus, args,
+                                             chunksize=1)
+    else:
+        payloads = [_execute_litmus(*tasks[i], config) for i in pending]
+    for i, payload in zip(pending, payloads):
+        results[i] = payload
+        if _disk_cache is not None:
+            _disk_cache.store_litmus(tasks[i], config, payload)
+    return results
+
+
 def _memo_satisfies(req: RunRequest, config: SystemConfig) -> bool:
     key = (req.workload, req.mode, config)
     if req.profiled:

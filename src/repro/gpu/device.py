@@ -49,6 +49,7 @@ from ..sim.events import (
 from ..sim.machine import Machine
 from ..sim.memory import MemKind, Region
 from ..sim.optane import merge_segments
+from ..sim.persistency import active_mutant
 from .hierarchy import Dim3, ThreadId, warps_in_grid
 from .kernel import (
     _IMPLICIT_ROUND,
@@ -150,7 +151,12 @@ class _BlockEngine:
         buf = self._buffers.pop(warp_global, None)
         if buf is None:
             return
-        for round_no in sorted(buf.rounds):
+        # Sentinel mutant "fence-order": deliver the buffered rounds in
+        # reverse - a later fence's writes become durable while an earlier
+        # fence's are still pending, re-planting the broken-demo bug at the
+        # engine level for the litmus fuzzer to catch.
+        for round_no in sorted(buf.rounds,
+                               reverse=active_mutant() == "fence-order"):
             for region, starts, lengths in buf.rounds[round_no].values():
                 self._deliver(region, starts, lengths, round_no)
 
@@ -169,8 +175,14 @@ class _BlockEngine:
         """
         if self.policy != "epoch" or not self._epoch_dirty:
             return
+        nxt = self.machine.persistency.advance_epoch(self._epoch)
+        if nxt == self._epoch:
+            # The model declined to open a new epoch (the "epoch-boundary"
+            # sentinel mutant): adjacent epochs silently coalesce and no
+            # boundary frontier is announced.
+            return
         self.machine.events.emit(EpochBoundary(epoch=self._epoch))
-        self._epoch += 1
+        self._epoch = nxt
         self._epoch_dirty = False
 
     def _deliver(self, region: Region, starts, lengths,

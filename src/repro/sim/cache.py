@@ -177,9 +177,14 @@ class LastLevelCache:
             ]
         if not hits:
             return 0.0
+        # Announce before touching the dirty set: a crash during this
+        # emission must see the lines either still cached (eADR drains
+        # them) or already persisted - never in between.  Real hardware
+        # has no such limbo (a CLFLUSHOPT'd line is in the cache or in the
+        # ADR-protected controller queue); found by the litmus fuzzer.
+        self._events.emit(LlcFlush(region=region.name, lines=len(hits)))
         for line in hits:
             del self._dirty[(rid, line)]
-        self._events.emit(LlcFlush(region=region.name, lines=len(hits)))
         starts = np.asarray(sorted(hits), dtype=np.int64) * self._line
         return self._optane.flush_lines(region, starts, self._line)
 

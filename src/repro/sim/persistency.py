@@ -61,6 +61,7 @@ See ``docs/persistency-models.md``.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,6 +75,52 @@ DDIO_TOGGLE_S = 2.0e-6
 
 #: The fence-ordering policies the SIMT engine implements.
 FENCE_POLICIES = ("strict", "epoch", "relaxed")
+
+
+# ---------------------------------------------------------------------------
+# sentinel mutants (planted ordering bugs for the litmus fuzzer)
+# ---------------------------------------------------------------------------
+
+#: Named, intentionally planted ordering bugs.  ``repro check --litmus``
+#: re-runs a slice of its generated tests with each mutant armed and fails
+#: if the fuzzer does not catch it (``docs/crash-consistency.md``):
+#:
+#: * ``"fence-order"`` re-plants the broken-demo bug at the engine level:
+#:   ``flush_warp`` delivers a warp's buffered drain rounds in *reverse*
+#:   order, so a later fence's writes can be durable at a crash while an
+#:   earlier fence's are not;
+#: * ``"epoch-boundary"`` makes the :class:`Epoch` model decline to open
+#:   the next epoch at a barrier (:meth:`PersistencyModel.advance_epoch`),
+#:   silently coalescing adjacent epochs - no ``EpochBoundary`` frontier is
+#:   ever announced.
+SENTINEL_MUTANTS = ("fence-order", "epoch-boundary")
+
+_mutant: str | None = None
+
+
+def activate_mutant(name: str | None) -> None:
+    """Arm one sentinel mutant process-wide (``None`` disarms)."""
+    global _mutant
+    if name is not None and name not in SENTINEL_MUTANTS:
+        known = ", ".join(SENTINEL_MUTANTS)
+        raise ValueError(f"unknown sentinel mutant {name!r}; one of: {known}")
+    _mutant = name
+
+
+def active_mutant() -> str | None:
+    """The armed sentinel mutant, or ``None`` (the normal case)."""
+    return _mutant
+
+
+@contextmanager
+def sentinel_mutant(name: str | None):
+    """Arm a sentinel mutant for the scope of the block (``None`` = no-op)."""
+    previous = _mutant
+    activate_mutant(name)
+    try:
+        yield
+    finally:
+        activate_mutant(previous)
 
 
 class PersistencyModel:
@@ -120,6 +167,56 @@ class PersistencyModel:
             machine.set_ddio(True)
             machine.clock.advance(DDIO_TOGGLE_S)
 
+    # -- epoch semantics ---------------------------------------------------
+
+    @property
+    def declares_epochs(self) -> bool:
+        """Whether the engine announces ``EpochBoundary`` frontiers.
+
+        True exactly for epoch-policy models: barriers and kernel completion
+        close an epoch, which is where cross-epoch ordering is enforced.
+        """
+        return self.fence_policy == "epoch"
+
+    def advance_epoch(self, epoch: int) -> int:
+        """The epoch to open when the engine closes a dirty epoch.
+
+        The SIMT engine delegates here from its barrier/completion hook and
+        drops the ``EpochBoundary`` announcement when the returned epoch is
+        unchanged (see the ``"epoch-boundary"`` sentinel mutant).
+        """
+        return epoch + 1
+
+    # -- ordering predicates (the litmus outcome oracle reads these) -------
+
+    def orders_rounds(self) -> bool:
+        """Each thread's fenced drain rounds are durability-ordered.
+
+        Under strict-policy models a thread's round *r+1* can only be
+        durable at a crash if round *r* is; unfenced (implicit-round) stores
+        order after every fenced round of their thread.
+        """
+        return self.fence_policy == "strict"
+
+    def orders_epochs(self) -> bool:
+        """Durability is ordered across epoch boundaries (all threads).
+
+        Under epoch-policy models fences inside one epoch are unordered
+        among themselves, but a write fenced in epoch *e+1* can only be
+        durable at a crash if every write fenced in epoch *e* is.
+        """
+        return self.fence_policy == "epoch"
+
+    def durable_on_delivery(self, in_window: bool) -> bool:
+        """Whether a delivered drain round is durable if the machine crashes.
+
+        True when the LLC is inside the persistence domain (eADR) or when
+        delivery bypasses the volatile LLC (DDIO off inside a persist
+        window).  False means delivered-but-volatile: the write parks in
+        LLC lines that a crash discards.
+        """
+        return self.eadr or (in_window and self.toggles_ddio)
+
     # -- data path ---------------------------------------------------------
 
     def route_io_write(self, machine, region, starts, lengths):
@@ -159,6 +256,14 @@ class Epoch(PersistencyModel):
 
     name = "epoch"
     fence_policy = "epoch"
+
+    def advance_epoch(self, epoch: int) -> int:
+        # Sentinel mutant "epoch-boundary": decline to open the next epoch,
+        # silently coalescing adjacent epochs.  The litmus fuzzer's frontier
+        # census must notice the missing EpochBoundary announcements.
+        if active_mutant() == "epoch-boundary":
+            return epoch
+        return epoch + 1
 
 
 class Relaxed(PersistencyModel):

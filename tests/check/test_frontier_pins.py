@@ -1,0 +1,45 @@
+"""Seed-corpus frontier-count pins: the explored crash space cannot shrink.
+
+The six hand-written oracle targets double as the litmus fuzzer's seed
+corpus.  Their reference runs' frontier counts are pinned here (and in
+``repro.check.litmus.SEED_CORPUS``): a generator or event-bus refactor
+that silently drops frontier-tagged events - shrinking the crash space
+every exploration walks - fails these before it can hide anything.
+"""
+
+import pytest
+
+from repro.check import CrashExplorer, parse_frontier
+from repro.check.explorer import explore_frontier
+from repro.check.litmus import (
+    BROKEN_DEMO_FRONTIER,
+    SEED_CORPUS,
+    run_seed_corpus,
+)
+
+PINS = sorted(SEED_CORPUS.items())
+
+
+@pytest.mark.parametrize("target,expected", PINS,
+                         ids=[t for t, _ in PINS])
+def test_frontier_count_pinned(target, expected):
+    assert len(CrashExplorer(target).record()) == expected
+
+
+def test_pins_cover_all_six_targets():
+    from repro.check import CHECK_TARGETS
+
+    assert set(SEED_CORPUS) == set(CHECK_TARGETS)
+
+
+def test_broken_demo_bug_caught_at_pinned_frontier():
+    result = explore_frontier("broken-demo", "gpm",
+                              parse_frontier(BROKEN_DEMO_FRONTIER))
+    assert result.status == "violation"
+    assert result.failed_verdicts
+
+
+def test_run_seed_corpus_reports_green():
+    rows = run_seed_corpus()
+    assert len(rows) == len(SEED_CORPUS) + 1  # + the broken-demo replay
+    assert all(row["ok"] for row in rows), [r for r in rows if not r["ok"]]

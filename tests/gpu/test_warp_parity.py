@@ -145,6 +145,75 @@ def test_forced_scalar_env(monkeypatch):
     assert resolve_warp_impl(partial_sums_kernel) is None
 
 
+LITMUS_PARITY_POINTS = [
+    # Every fence policy and data path the generated kernels can exercise.
+    "strict:window:adr", "epoch:window:adr", "relaxed:nowindow:adr",
+    "adaptive:window:adr", "eadr:window:adr",
+]
+
+
+def _run_litmus_collected(index, spec, forced_scalar):
+    from repro.check.litmus import (
+        REGION_BYTES,
+        build_kernels,
+        build_model,
+        generate_test,
+        parse_config_point,
+    )
+    from repro.core.persist import persist_window
+    from repro.system import System
+
+    test = generate_test(7, index)
+    point = parse_config_point(spec)
+    system = System(persistency=build_model(point))
+    regions = [system.machine.alloc_pm(f"/pm/litmus{i}", REGION_BYTES)
+               for i in range(test.n_regions)]
+    kernel = build_kernels(test, regions)
+    events = []
+    system.events.subscribe(lambda ts, ev: events.append(event_to_record(ts, ev)))
+
+    def launch():
+        if point.window:
+            with persist_window(system):
+                return system.gpu.launch(kernel, 1, test.n_threads)
+        return system.gpu.launch(kernel, 1, test.n_threads)
+
+    if forced_scalar:
+        with scalar_lane():
+            result = launch()
+    else:
+        result = launch()
+    images = [(r.visible.copy(), r.persisted.copy()) for r in regions]
+    return result, events, images
+
+
+@pytest.mark.parametrize("index", range(4))
+@pytest.mark.parametrize("spec", LITMUS_PARITY_POINTS)
+def test_litmus_kernels_lane_parity(index, spec):
+    # Satellite of the litmus fuzzer: every generated kernel registers a
+    # warp twin via @vectorized_for, and the two lanes must agree on the
+    # full timestamped event stream and both memory images, byte for byte.
+    rs, ev_s, img_s = _run_litmus_collected(index, spec, True)
+    rw, ev_w, img_w = _run_litmus_collected(index, spec, False)
+    assert rs.lane == "scalar" and rw.lane == "warp"
+    assert rs.elapsed == rw.elapsed
+    assert ev_s == ev_w
+    for (vis_s, per_s), (vis_w, per_w) in zip(img_s, img_w):
+        assert np.array_equal(vis_s, vis_w)
+        assert np.array_equal(per_s, per_w)
+
+
+def test_litmus_generated_kernels_register_warp_impl():
+    from repro.check.litmus import REGION_BYTES, build_kernels, generate_tests
+    from repro.system import System
+
+    for test in generate_tests(7, 8):
+        system = System()
+        regions = [system.machine.alloc_pm(f"/pm/l{i}", REGION_BYTES)
+                   for i in range(test.n_regions)]
+        assert resolve_warp_impl(build_kernels(test, regions)) is not None
+
+
 def test_check_frontiers_match_either_lane():
     # repro.check must explore the same frontier count whether or not warp
     # implementations are registered: recording runs under an armed

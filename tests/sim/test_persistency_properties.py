@@ -1,0 +1,188 @@
+"""Seeded-random property tests over every registered persistency model.
+
+No hypothesis dependency: programs are drawn from ``random.Random`` with
+fixed seeds, so failures replay exactly.  Two families of properties:
+
+* **round monotonicity** - for every model, the drain rounds a warp
+  delivers arrive in non-decreasing round order, and each thread's fence
+  rounds only ever grow (the engine's flush sorts rounds; the sentinel
+  ``"fence-order"`` mutant is precisely a violation of this property);
+* **epoch announcement** - ``EpochBoundary`` events appear on the bus iff
+  the model declares epoch semantics (``declares_epochs``), and their
+  epoch numbers strictly increase.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.persist import persist_window
+from repro.sim.events import EpochBoundary, WarpDrain
+from repro.sim.persistency import (
+    MODEL_REGISTRY,
+    SENTINEL_MUTANTS,
+    activate_mutant,
+    active_mutant,
+    known_models,
+    make_model,
+    sentinel_mutant,
+)
+from repro.system import System
+
+MODELS = sorted(known_models())
+SEEDS = [0, 1, 2]
+
+#: implicit-round sentinel the engine uses for unfenced retirement drains
+IMPLICIT = 1 << 30
+
+
+def _random_program(rng: random.Random):
+    """A small random store/fence program: (n_threads, steps)."""
+    n_threads = rng.choice((4, 8))
+    steps = []
+    slot = 0
+    for _ in range(rng.randint(2, 8)):
+        if rng.random() < 0.6:
+            steps.append(("write", slot))
+            slot += n_threads
+        else:
+            steps.append(("fence",))
+    steps.append(("write", slot))  # at least one unfenced tail store
+    return n_threads, steps
+
+
+def _run_program(model_name: str, seed: int):
+    """Run one random program under ``model_name``; return the events."""
+    rng = random.Random(f"props:{model_name}:{seed}")
+    n_threads, steps = _random_program(rng)
+    system = System(persistency=make_model(model_name))
+    region = system.machine.alloc_pm("/pm/props", 65536)
+    events = []
+    system.events.subscribe(lambda ts, ev: events.append(ev))
+
+    def kernel(ctx):
+        t = ctx.thread_in_block
+        for step in steps:
+            if step[0] == "write":
+                ctx.store(region, (step[1] + t) * 64, t + 1, np.uint32)
+            else:
+                ctx.persist()
+
+    with persist_window(system):
+        system.gpu.launch(kernel, 1, n_threads)
+    return events
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_warp_drain_rounds_are_monotone(model_name, seed):
+    rounds = [ev.round_no for ev in _run_program(model_name, seed)
+              if isinstance(ev, WarpDrain)]
+    assert rounds, "the program always stores something"
+    # Implicit (retirement) rounds render as -1 but deliver last.
+    normalized = [IMPLICIT if r == -1 else r for r in rounds]
+    assert normalized == sorted(normalized)
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_epoch_boundaries_iff_model_declares_epochs(model_name, seed):
+    model = make_model(model_name)
+    events = _run_program(model_name, seed)
+    boundaries = [ev for ev in events if isinstance(ev, EpochBoundary)]
+    if model.declares_epochs:
+        # Every program fences at least implicitly via retirement, but a
+        # boundary needs a *dirty* epoch: one explicit fence suffices, and
+        # kernel completion always closes the last dirty epoch.
+        has_fence = any(isinstance(ev, WarpDrain) and ev.round_no != -1
+                        for ev in events)
+        assert bool(boundaries) == has_fence
+    else:
+        assert boundaries == []
+    epochs = [b.epoch for b in boundaries]
+    assert epochs == sorted(set(epochs)), "epoch numbers strictly increase"
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_advance_epoch_is_strictly_increasing(model_name):
+    model = make_model(model_name)
+    epoch = 1
+    for _ in range(10):
+        nxt = model.advance_epoch(epoch)
+        assert nxt == epoch + 1
+        epoch = nxt
+
+
+def test_ordering_predicates_partition_the_policies():
+    for name in MODELS:
+        model = make_model(name)
+        assert not (model.orders_rounds() and model.orders_epochs())
+        assert model.orders_rounds() == (model.fence_policy == "strict")
+        assert model.orders_epochs() == (model.fence_policy == "epoch")
+        assert model.declares_epochs == model.orders_epochs()
+
+
+def test_durable_on_delivery_matches_domain():
+    for name in MODELS:
+        model = make_model(name)
+        if model.eadr:
+            assert model.durable_on_delivery(True)
+            assert model.durable_on_delivery(False)
+        else:
+            assert model.durable_on_delivery(True) == model.toggles_ddio
+            assert not model.durable_on_delivery(False)
+
+
+# ---------------------------------------------------------------------------
+# the sentinel-mutant registry itself
+# ---------------------------------------------------------------------------
+
+
+class TestSentinelRegistry:
+    def test_unknown_mutant_rejected(self):
+        with pytest.raises(ValueError, match="fence-order"):
+            activate_mutant("rowhammer")
+        assert active_mutant() is None
+
+    def test_context_manager_restores_previous(self):
+        assert active_mutant() is None
+        with sentinel_mutant("fence-order"):
+            assert active_mutant() == "fence-order"
+            with sentinel_mutant(None):
+                assert active_mutant() is None
+            assert active_mutant() == "fence-order"
+        assert active_mutant() is None
+
+    def test_epoch_boundary_mutant_suppresses_advance(self):
+        epoch_model = make_model("epoch")
+        with sentinel_mutant("epoch-boundary"):
+            assert epoch_model.advance_epoch(3) == 3
+            # Non-epoch models are untouched by this mutant.
+            assert make_model("strict").advance_epoch(3) == 4
+        assert epoch_model.advance_epoch(3) == 4
+
+    def test_both_sentinels_registered(self):
+        assert set(SENTINEL_MUTANTS) == {"fence-order", "epoch-boundary"}
+
+    @pytest.mark.parametrize("mutant", sorted(SENTINEL_MUTANTS))
+    def test_mutants_violate_monotonicity_observably(self, mutant):
+        # The properties above are exactly what the mutants break: armed,
+        # at least one model/seed must fail one of them - otherwise the
+        # litmus fuzzer's self-check would be vacuous.
+        broken = False
+        with sentinel_mutant(mutant):
+            for model_name in MODELS:
+                for seed in SEEDS:
+                    events = _run_program(model_name, seed)
+                    rounds = [IMPLICIT if ev.round_no == -1 else ev.round_no
+                              for ev in events if isinstance(ev, WarpDrain)]
+                    model = make_model(model_name)
+                    fenced = any(r not in (IMPLICIT,) for r in rounds)
+                    boundaries = [ev for ev in events
+                                  if isinstance(ev, EpochBoundary)]
+                    if rounds != sorted(rounds):
+                        broken = True
+                    if model.declares_epochs and fenced and not boundaries:
+                        broken = True
+        assert broken

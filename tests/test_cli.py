@@ -127,3 +127,51 @@ class TestCheckCli:
     def test_check_unknown_target(self):
         with pytest.raises(SystemExit):
             main(["check", "nope"])
+
+
+class TestLitmusCli:
+    def test_litmus_campaign_passes_and_catches_sentinels(self, capsys):
+        # Bounded version of the CI job: every clean config point must
+        # pass AND both planted sentinel bugs must be caught.
+        assert main(["check", "--litmus", "2", "--seed", "7",
+                     "--no-corpus", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "fence-order" in out and "caught" in out
+        assert "epoch-boundary" in out
+        assert "UNDETECTED" not in out
+
+    def test_litmus_campaign_uses_disk_cache(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        args = ["check", "--litmus", "1", "--seed", "3", "--no-corpus",
+                "--cache-dir", str(cache)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert list(cache.glob("litmus-*.json"))
+        assert main(args) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_litmus_replay_clean_point(self, capsys):
+        assert main(["check", "--litmus-replay", "7:0",
+                     "--litmus-config", "strict:window:adr"]) == 0
+        out = capsys.readouterr().out
+        assert "litmus 7:0" in out
+        assert "ok" in out
+
+    def test_litmus_replay_mutant_fails_with_reproducer(self, capsys):
+        assert main(["check", "--litmus-replay", "7:0",
+                     "--litmus-config", "epoch:window:adr",
+                     "--mutant", "epoch-boundary"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert ("reproduce: PYTHONPATH=src python -m repro check "
+                "--litmus-replay 7:0") in out
+        assert "--mutant epoch-boundary" in out
+
+    def test_litmus_replay_bad_spec(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--litmus-replay", "seven"])
+
+    def test_check_without_target_or_litmus_errors(self):
+        with pytest.raises(SystemExit):
+            main(["check"])
