@@ -29,6 +29,11 @@ Commands
     Systematically crash the target at every distinct frontier, recover,
     and verify its invariants; non-zero exit and a reproducer command on
     any violation.  See ``docs/crash-consistency.md``.
+``serve [--tenants N --shards N --rate R --duration S --seed S ...]``
+    Run the multi-tenant request-serving layer over gpKVS (admission
+    control, warp-sized batching, sharded HCL logs) and print the service
+    summary; same seed, byte-identical summary.  ``bench --service``
+    writes ``BENCH_service.json``.  See ``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -104,6 +109,10 @@ def _cmd_all(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.service:
+        args.out = args.out or "BENCH_service.json"
+        return _cmd_bench_service(args)
+    args.out = args.out or "BENCH_experiments.json"
     from .experiments.bench import run_bench
 
     record = run_bench(jobs=args.jobs, smoke=args.smoke,
@@ -117,6 +126,42 @@ def _cmd_bench(args) -> int:
     print(f"warm cache         {record['warm_s']:.3f} s "
           f"({100 * record['warm_over_cold']:.1f}% of cold)")
     print(f"saved {args.out}")
+    return 0
+
+
+def _cmd_bench_service(args) -> int:
+    from .serve.bench import run_service_bench, validate_service_record
+    from .serve.metrics import render_summary
+
+    record = run_service_bench(smoke=args.smoke, seed=args.seed, out=args.out)
+    print(render_summary(record["summary"]))
+    print(f"wall clock      {record['wall_s']:.3f} s")
+    print(f"saved {args.out}")
+    problems = validate_service_record(record)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ServiceConfig, run_service
+    from .serve.metrics import render_summary, summary_json
+
+    config = ServiceConfig(
+        mode=args.mode, tenants=args.tenants, shards=args.shards,
+        rate=args.rate, duration=args.duration, seed=args.seed,
+        read_fraction=args.read_fraction,
+        delete_fraction=args.delete_fraction, theta=args.theta,
+        target_batch=args.target_batch, linger=args.linger,
+    )
+    result = run_service(config)
+    if args.json:
+        print(summary_json(result["summary"]))
+    else:
+        print(f"served {config.tenants} tenants x {config.rate / 1e6:.2f} M ops/s "
+              f"for {config.duration * 1e3:.2f} ms simulated "
+              f"({config.shards} log shards, seed {config.seed}):")
+        print(render_summary(result["summary"]))
     return 0
 
 
@@ -286,13 +331,44 @@ def main(argv=None) -> int:
                        help="bench only a small artefact subset (CI)")
     bench.add_argument("--artefacts", nargs="+", default=None,
                        help="explicit artefact names to bench")
-    bench.add_argument("--out", default="BENCH_experiments.json")
+    bench.add_argument("--out", default=None,
+                       help="output JSON path (default: "
+                            "BENCH_experiments.json, or BENCH_service.json "
+                            "with --service)")
     bench.add_argument("--cache-dir", default=None,
                        help="reuse this cache directory for the warm legs "
                             "(default: a throw-away temp dir)")
+    bench.add_argument("--service", action="store_true",
+                       help="bench the request-serving layer instead "
+                            "(writes BENCH_service.json)")
+    bench.add_argument("--seed", type=int, default=42,
+                       help="service traffic seed (with --service)")
     from .sim.persistency import known_mode_names
 
     mode_help = " | ".join(known_mode_names())
+    sv = sub.add_parser(
+        "serve", help="run the multi-tenant request-serving layer over gpKVS")
+    sv.add_argument("--mode", default="gpm",
+                    help="PM-direct persistence mode (gpm | gpm-eadr | ...)")
+    sv.add_argument("--tenants", type=int, default=4)
+    sv.add_argument("--shards", type=int, default=4,
+                    help="independent HCL log shards (key-hash ranges)")
+    sv.add_argument("--rate", type=float, default=500_000.0,
+                    help="per-tenant offered load, ops per simulated second")
+    sv.add_argument("--duration", type=float, default=2e-3,
+                    help="simulated seconds of traffic")
+    sv.add_argument("--seed", type=int, default=42,
+                    help="traffic seed; same seed, byte-identical summary")
+    sv.add_argument("--read-fraction", type=float, default=0.5)
+    sv.add_argument("--delete-fraction", type=float, default=0.05)
+    sv.add_argument("--theta", type=float, default=0.99,
+                    help="Zipfian key skew (0 = uniform)")
+    sv.add_argument("--target-batch", type=int, default=128,
+                    help="flush when this many requests are pending")
+    sv.add_argument("--linger", type=float, default=20e-6,
+                    help="flush when the oldest request waited this long (s)")
+    sv.add_argument("--json", action="store_true",
+                    help="print the canonical JSON summary instead of text")
     wl = sub.add_parser("workload", help="run one workload under one mode")
     wl.add_argument("name")
     wl.add_argument("--mode", default="gpm", help=mode_help)
@@ -345,7 +421,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     return {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
             "bench": _cmd_bench, "workload": _cmd_workload,
-            "trace": _cmd_trace, "check": _cmd_check}[args.command](args)
+            "trace": _cmd_trace, "check": _cmd_check,
+            "serve": _cmd_serve}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -1,13 +1,15 @@
 """Persistency-litmus fuzzer: generated crash-consistency tests.
 
-The six hand-written oracles in :mod:`repro.check.oracles` validate fixed
+The hand-written oracles in :mod:`repro.check.oracles` validate fixed
 recovery protocols; this module validates the *persistency models
 themselves* the way the litmus-testing literature does ("Lost in
 Interpretation"; Lin & Solihin's strict/epoch/relaxed design space): a
 deterministic, seeded generator emits small racy kernels - 2-4 PM regions,
 interleaved per-thread writes with fence/epoch/log placements drawn from a
-grammar - and for each one an *outcome oracle* computes the machine-checkable
-set of post-crash states the active model's ordering rules allow.
+grammar (plain writes, HCL-style logged writes, and the serving layer's
+sharded-log insert where two log regions share one fence) - and for each
+one an *outcome oracle* computes the machine-checkable set of post-crash
+states the active model's ordering rules allow.
 
 The oracle has two halves, both derived from one abstract interpretation of
 the generated program (:func:`interpret`, a pure-Python mirror of the SIMT
@@ -33,7 +35,7 @@ eADR - through the experiment engine's shared fork pool and disk cache
 (:func:`repro.experiments.runner.run_litmus_batch`), then re-runs a slice
 of the tests with each sentinel mutant armed
 (:data:`~repro.sim.persistency.SENTINEL_MUTANTS`) and fails unless every
-mutant is caught.  The six hand-written oracle targets ride along as the
+mutant is caught.  The hand-written oracle targets ride along as the
 *seed corpus*: their recorded frontier counts are pinned
 (:data:`SEED_CORPUS`) and broken-demo's planted bug must still be caught.
 
@@ -65,9 +67,11 @@ from .frontier import Frontier, FrontierRecorder, parse_frontier, prune_frontier
 #: segments stay small and the adaptive model always stages them).
 SLOT_STRIDE = 64
 
-#: Size of each generated PM region: 256 slots, comfortably above the
-#: largest slot count the grammar can allocate to one region.
-REGION_BYTES = 256 * SLOT_STRIDE
+#: Size of each generated PM region: 512 slots, comfortably above the
+#: largest slot count the grammar can allocate to one region (the
+#: sharded-log production can land three write rounds on one region per
+#: roll, so the old 256-slot regions no longer clear every test).
+REGION_BYTES = 512 * SLOT_STRIDE
 
 #: Delivery-round key of unfenced writes (the engine's implicit round).
 IMPLICIT = 1 << 30
@@ -77,12 +81,13 @@ IMPLICIT = 1 << 30
 #: frontier is always explored on top (see :func:`select_frontiers`).
 DEFAULT_LITMUS_FRONTIERS = 8
 
-#: Frontier counts of the six hand-written oracle targets, promoted to the
+#: Frontier counts of the hand-written oracle targets, promoted to the
 #: fuzzer's seed corpus: a generator/bus refactor that silently shrinks the
 #: explored crash space fails here (and in tests/check/test_frontier_pins).
 SEED_CORPUS = {
     "prefix_sum": 184,
     "kvs": 111,
+    "kvs-delete": 183,
     "checkpointed-dnn": 60,
     "hashmap": 93,
     "ring": 18,
@@ -255,6 +260,17 @@ def generate_test(seed: int, index: int) -> LitmusTest:
                 write_step(0)
                 steps.append(("fence",))
                 write_step(rng.randrange(1, n_regions))
+            elif roll < 0.85:
+                # Sharded-log insert (the serving layer's idiom): two
+                # shards journal to their own log regions, one fence
+                # makes both entries durable, then the covered data
+                # writes land - cross-shard logged writes in a batch
+                # window share the fence, never the log.
+                write_step(0)
+                write_step(1 % n_regions)
+                steps.append(("fence",))
+                write_step(rng.randrange(n_regions))
+                write_step(rng.randrange(n_regions))
             else:
                 steps.append(("fence",))
         if not steps:
@@ -699,7 +715,7 @@ def execute_point(test_payload: dict, point_spec: str, mutant: str | None = None
 
 
 # ---------------------------------------------------------------------------
-# the seed corpus: today's six hand-written oracle targets
+# the seed corpus: today's hand-written oracle targets
 # ---------------------------------------------------------------------------
 
 
@@ -776,7 +792,7 @@ class LitmusExplorer:
 
     One campaign is three stages, all deterministic in ``(count, seed)``:
 
-    1. the **seed corpus** - the six hand-written oracle targets' frontier
+    1. the **seed corpus** - the hand-written oracle targets' frontier
        counts against their pins, plus broken-demo's planted bug;
     2. the **matrix** - ``count`` generated tests, each executed at every
        :func:`config_matrix` point through the experiment engine's shared

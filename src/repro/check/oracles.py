@@ -187,6 +187,152 @@ class KvsOracle(CrashOracle):
         return checks
 
 
+#: DELETE batches layered on the committed SET state: how many, and how
+#: many guaranteed-absent keys each carries (absent keys exercise the
+#: kernel's no-log early return - their threads must contribute nothing to
+#: the undo log a crash replays).
+_KVS_DELETE_BATCHES = 2
+_KVS_DELETE_ABSENT = 8
+
+
+@lru_cache(maxsize=1)
+def _kvs_delete_batches() -> tuple:
+    """Deterministic DELETE batches over the committed SET state.
+
+    Each batch mixes keys drawn (uniquely - per-thread undo is
+    order-dependent under collisions) from one reference SET batch with a
+    run of keys above the SET key range, which are guaranteed absent.
+    """
+    cfg = KvsConfig(**_KVS_CONFIG)
+    _snapshots, batches = _kvs_reference_prefixes()
+    n_pairs = cfg.n_sets * cfg.ways
+    rng = np.random.default_rng(cfg.seed + 17)
+    out = []
+    for b in range(_KVS_DELETE_BATCHES):
+        src_keys, _vals = batches[b % len(batches)]
+        present = rng.choice(src_keys, size=cfg.batch_size - _KVS_DELETE_ABSENT,
+                             replace=False)
+        absent = np.arange(n_pairs * 4 + b * _KVS_DELETE_ABSENT,
+                           n_pairs * 4 + (b + 1) * _KVS_DELETE_ABSENT,
+                           dtype=np.uint64)
+        out.append(np.concatenate([present, absent]))
+    return tuple(out)
+
+
+@lru_cache(maxsize=1)
+def _kvs_delete_reference_prefixes() -> tuple:
+    """Durable table snapshots across the SET batches, then each DELETE.
+
+    Extends :func:`_kvs_reference_prefixes`'s chain: the host replay of
+    :func:`~repro.workloads.kvs.delete_kernel` finds each key's way and
+    zeroes both words (absent keys are no-ops), so a recovered table must
+    equal exactly one link of the combined chain.
+    """
+    cfg = KvsConfig(**_KVS_CONFIG)
+    snapshots, _batches = _kvs_reference_prefixes()
+    keys, values = (a.copy() for a in snapshots[-1])
+    chain = list(snapshots)
+    for batch in _kvs_delete_batches():
+        for key in batch.tolist():
+            base = (hash64(int(key)) % cfg.n_sets) * cfg.ways
+            for w in range(cfg.ways):
+                if int(keys[base + w]) == key:
+                    keys[base + w] = 0
+                    values[base + w] = 0
+                    break
+        chain.append((keys.copy(), values.copy()))
+    return tuple(chain)
+
+
+class KvsDeleteOracle(CrashOracle):
+    """gpKVS batched DELETEs: tombstone-free removal under the undo log.
+
+    Deletion is the SET of the empty sentinel - the same per-thread undo
+    entry (old key + value) makes Fig. 6b's recovery kernel restore
+    deletes with no new logic.  This oracle pins that claim under crashes:
+    it runs the SET workload to completion, then issues DELETE batches
+    through the same flag/log protocol and checks the recovered table is
+    always a whole-batch prefix of the combined SET + DELETE chain.
+    """
+
+    name = "kvs-delete"
+    #: same ordering argument as :class:`KvsOracle` - DELETE uses the
+    #: identical log-then-write fence placement.
+    modes = (Mode.GPM, Mode.GPM_EPOCH, Mode.GPM_ADAPTIVE)
+    supports_thread_injection = True
+
+    def execute(self, system, mode: Mode, injector) -> None:
+        self._workload = GpKvs(KvsConfig(**_KVS_CONFIG))
+        self._workload.run(mode, system=system, crash_injector=injector)
+        for batch in _kvs_delete_batches():
+            self._workload.delete_batch(batch, crash_injector=injector)
+
+    def register_recovery_handlers(self, manager, system, mode: Mode) -> None:
+        # Same handler as the SET oracle: the undo kernel is op-agnostic.
+        state = {"done": False}
+        workload = self._workload
+
+        def recover_kvs(sys_, file_report) -> float:
+            if state["done"]:
+                return 0.0
+            state["done"] = True
+            for path in ("/pm/gpkvs.flag", "/pm/gpkvs.log", "/pm/gpkvs.table"):
+                if not sys_.fs.exists(path):
+                    return 0.0
+            return workload.recover(sys_, mode)
+
+        manager.register_handler("/pm/gpkvs", recover_kvs)
+
+    def declare_invariants(self, system, mode: Mode,
+                           observation: RunObservation) -> list:
+        cfg = self._workload.config
+        checks = list(self._workload.declare_invariants(system))
+        matched: dict[str, int | None] = {"prefix": None}
+
+        def delete_atomicity() -> tuple[bool, str]:
+            if not system.fs.exists("/pm/gpkvs.table"):
+                matched["prefix"] = 0
+                return True, "crash predates the table"
+            chain = _kvs_delete_reference_prefixes()
+            n_pairs = cfg.n_sets * cfg.ways
+            table = gpm_map(system, "/pm/gpkvs.table")
+            keys = table.region.persisted_view(np.uint64, 0, n_pairs)
+            values = table.region.persisted_view(np.uint64, n_pairs * 8, n_pairs)
+            for k, (ref_keys, ref_vals) in enumerate(chain):
+                if np.array_equal(keys, ref_keys) and np.array_equal(values, ref_vals):
+                    matched["prefix"] = k
+                    return True, f"table is exactly the {k}-batch prefix state"
+            return False, ("recovered table matches no committed-batch "
+                           "prefix: a DELETE batch was applied partially")
+
+        def absent_after_committed_delete() -> tuple[bool, str]:
+            k = matched["prefix"]
+            if k is None or k <= cfg.set_batches:
+                return True, "no committed DELETE batch to probe"
+            batch = _kvs_delete_batches()[k - cfg.set_batches - 1]
+            n_pairs = cfg.n_sets * cfg.ways
+            table = gpm_map(system, "/pm/gpkvs.table")
+            keys = table.region.persisted_view(np.uint64, 0, n_pairs)
+            lingering = 0
+            for key in batch.tolist():
+                base = (hash64(int(key)) % cfg.n_sets) * cfg.ways
+                if int(key) in keys[base:base + cfg.ways]:
+                    lingering += 1
+            if lingering:
+                return False, (f"{lingering} keys of committed DELETE batch "
+                               f"{k - cfg.set_batches - 1} still present")
+            return True, (f"every key of DELETE batch "
+                          f"{k - cfg.set_batches - 1} is gone")
+
+        checks.append(("kvs-delete-atomicity",
+                       "the recovered table is a committed-batch prefix of "
+                       "the SET + DELETE chain", delete_atomicity))
+        checks.append(("kvs-delete-absent-after-commit",
+                       "keys of the last committed DELETE batch stay absent",
+                       absent_after_committed_delete))
+        return checks
+
+
 # ---------------------------------------------------------------------------
 # checkpointed DNN
 # ---------------------------------------------------------------------------
@@ -509,6 +655,7 @@ class BrokenDemoOracle(CrashOracle):
 CHECK_TARGETS: dict[str, type[CrashOracle]] = {
     PrefixSumOracle.name: PrefixSumOracle,
     KvsOracle.name: KvsOracle,
+    KvsDeleteOracle.name: KvsDeleteOracle,
     CheckpointedDnnOracle.name: CheckpointedDnnOracle,
     HashMapOracle.name: HashMapOracle,
     RingOracle.name: RingOracle,

@@ -26,6 +26,7 @@ from ..version import __version__
 from . import ALL_EXPERIMENTS, requests_for, run_all
 from .diskcache import ResultCache
 from .runner import (
+    available_cpus,
     clear_cache,
     drain_run_timings,
     effective_jobs,
@@ -126,10 +127,18 @@ def run_bench(jobs: int = 2, smoke: bool = False,
         clear_cache()
 
     cold_seq, cold_par, warm_s = seq["wall_s"], par["wall_s"], warm["wall_s"]
+    eff = effective_jobs(jobs)
+    cpus = available_cpus()
     record = {
         "version": __version__,
         "jobs": jobs,
-        "effective_jobs": effective_jobs(jobs),
+        "effective_jobs": eff,
+        # Host context: parallel-speedup numbers are meaningless without
+        # knowing whether the pool was clamped, and why.
+        "cpu_count": cpus,
+        "jobs_clamp_reason": (None if eff == jobs else
+                              f"requested {jobs} workers, affinity allows "
+                              f"{cpus} CPUs"),
         "smoke": bool(smoke),
         "artefacts": names,
         "runs": len(requests_for(names)),

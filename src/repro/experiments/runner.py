@@ -128,6 +128,18 @@ def get_default_jobs() -> int:
     return _default_jobs
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    Container CPU quotas and taskset masks make ``os.cpu_count()`` a lie;
+    the scheduler affinity set is what the fork pool can really use.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 def effective_jobs(jobs: int) -> int:
     """Clamp a requested pool width to the CPUs actually available.
 
@@ -136,11 +148,7 @@ def effective_jobs(jobs: int) -> int:
     leg ran at 0.90x sequential - all contention and fork overhead, no
     parallelism.  A clamped width of 1 skips the pool entirely.
     """
-    try:
-        cores = len(os.sched_getaffinity(0))
-    except (AttributeError, OSError):
-        cores = os.cpu_count() or 1
-    return max(1, min(int(jobs), cores))
+    return max(1, min(int(jobs), available_cpus()))
 
 
 def shared_pool(jobs: int):

@@ -1,0 +1,70 @@
+"""Service-level benchmark: one served window, measured and validated.
+
+``python -m repro bench --service`` runs a full
+:func:`~repro.serve.service.run_service` window and writes
+``BENCH_service.json``: the deterministic service summary (sustained
+throughput, per-tenant p50/p95/p99, batch occupancy, shed rates) plus
+wall-clock and host context.  ``--smoke`` shrinks the window for CI.
+
+:func:`validate_service_record` is the CI gate: a service run that shed
+*everything* (the store never served a request) or produced non-finite
+tail latencies is broken even if it exited zero, so the smoke job fails
+on either.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+
+from ..experiments.runner import available_cpus
+from ..version import __version__
+from .service import ServiceConfig, run_service
+
+#: the CI smoke window: 2 tenants, ~0.5 ms simulated, a few hundred requests
+SMOKE_OVERRIDES = dict(tenants=2, shards=2, duration=5e-4, rate=400_000.0)
+
+
+def run_service_bench(smoke: bool = False, seed: int = 42,
+                      out: str = "BENCH_service.json",
+                      config: ServiceConfig | None = None) -> dict:
+    """Run one served window and write the benchmark record."""
+    if config is None:
+        overrides = SMOKE_OVERRIDES if smoke else {}
+        config = ServiceConfig(seed=seed, **overrides)
+    start = time.perf_counter()
+    result = run_service(config)
+    wall = time.perf_counter() - start
+    record = {
+        "version": __version__,
+        "smoke": bool(smoke),
+        "wall_s": round(wall, 3),
+        "cpu_count": available_cpus(),
+        "config": result["config"],
+        "summary": result["summary"],
+    }
+    with open(out, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return record
+
+
+def validate_service_record(record: dict) -> list[str]:
+    """Sanity problems that should fail CI (empty list = healthy)."""
+    problems = []
+    summary = record["summary"]
+    if summary["offered"] == 0:
+        problems.append("no requests were offered (empty traffic window)")
+    elif summary["shed_rate"] >= 1.0:
+        problems.append("shed rate is 100%: the service admitted nothing")
+    if summary["completed"] == 0:
+        problems.append("no requests completed")
+    p99 = summary["latency"]["p99"]
+    if p99 is None or not math.isfinite(p99):
+        problems.append(f"p99 latency is non-finite ({p99!r})")
+    for tenant, t in summary["tenants"].items():
+        tp99 = t["latency"]["p99"]
+        if t["completed"] and (tp99 is None or not math.isfinite(tp99)):
+            problems.append(f"{tenant}: p99 latency is non-finite ({tp99!r})")
+    return problems

@@ -1,0 +1,158 @@
+"""Service metrics: folding serve events into the numbers operators watch.
+
+:class:`ServiceMetrics` is an event-bus subscriber in the style of
+:class:`~repro.sim.events.StatsAggregator` - it observes the three serve
+events (``service_request``, ``service_batch``, ``service_complete``) and
+folds them into:
+
+* **sustained throughput** - completed ops per simulated second over the
+  measurement window;
+* **latency percentiles** - p50/p95/p99 of queueing + execution latency,
+  overall and per tenant (the multi-tenant story is *per-tenant tails*:
+  a global p99 hides one tenant being starved);
+* **batch occupancy** - live requests per warp-sized thread launched;
+  low occupancy means the linger timeout, not the size trigger, is
+  flushing batches;
+* **shed rate** - per tenant and per reason, from the admission events.
+
+Summaries are plain dicts of floats rounded to fixed precision, so the
+same seed yields a byte-identical JSON rendering (the determinism the CLI
+and tests pin).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..sim.events import ServiceBatch, ServiceComplete, ServiceRequest
+
+_ROUND = 9  # ns-scale latency precision; keeps JSON renderings stable
+
+
+def _percentiles(latencies: list) -> dict:
+    if not latencies:
+        return {"p50": None, "p95": None, "p99": None}
+    arr = np.asarray(latencies, dtype=np.float64)
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return {"p50": round(float(p50), _ROUND), "p95": round(float(p95), _ROUND),
+            "p99": round(float(p99), _ROUND)}
+
+
+class ServiceMetrics:
+    """Folds serve events into a deterministic service-level summary."""
+
+    def __init__(self) -> None:
+        self.offered: dict[str, int] = {}
+        self.admitted: dict[str, int] = {}
+        self.shed: dict[str, dict[str, int]] = {}
+        self.latencies: dict[str, list] = {}
+        self.completed = 0
+        self.coalesced = 0
+        self.ops_launched = 0
+        self.threads_launched = 0
+        self.batches = 0
+        self.shard_launches = 0
+
+    # -- bus plumbing --------------------------------------------------------
+
+    def attach(self, bus) -> None:
+        bus.subscribe(self.on_event)
+
+    def detach(self, bus) -> None:
+        bus.unsubscribe(self.on_event)
+
+    def on_event(self, ts: float, event) -> None:
+        if isinstance(event, ServiceRequest):
+            t = event.tenant
+            self.offered[t] = self.offered.get(t, 0) + 1
+            if event.admitted:
+                self.admitted[t] = self.admitted.get(t, 0) + 1
+            else:
+                reasons = self.shed.setdefault(t, {})
+                reasons[event.reason] = reasons.get(event.reason, 0) + 1
+        elif isinstance(event, ServiceComplete):
+            self.completed += 1
+            if event.coalesced:
+                self.coalesced += 1
+            self.latencies.setdefault(event.tenant, []).append(event.latency)
+        elif isinstance(event, ServiceBatch):
+            self.batches += 1
+            self.ops_launched += event.n_ops
+            self.threads_launched += event.threads
+            self.shard_launches += event.shards
+
+    # -- summary -------------------------------------------------------------
+
+    def summary(self, elapsed: float) -> dict:
+        """The service-level report over a window of ``elapsed`` sim-seconds."""
+        tenants = {}
+        for t in sorted(self.offered):
+            shed = self.shed.get(t, {})
+            shed_total = sum(shed.values())
+            offered = self.offered[t]
+            lat = self.latencies.get(t, [])
+            tenants[t] = {
+                "offered": offered,
+                "admitted": self.admitted.get(t, 0),
+                "completed": len(lat),
+                "shed": dict(sorted(shed.items())),
+                "shed_rate": round(shed_total / offered, _ROUND) if offered else 0.0,
+                "latency": _percentiles(lat),
+            }
+        all_lat = [x for lat in self.latencies.values() for x in lat]
+        offered_total = sum(self.offered.values())
+        shed_total = sum(sum(r.values()) for r in self.shed.values())
+        return {
+            "elapsed": round(elapsed, _ROUND),
+            "offered": offered_total,
+            "admitted": sum(self.admitted.values()),
+            "completed": self.completed,
+            "coalesced": self.coalesced,
+            "shed": shed_total,
+            "shed_rate": (round(shed_total / offered_total, _ROUND)
+                          if offered_total else 0.0),
+            "throughput_ops_per_s": (round(self.completed / elapsed, 3)
+                                     if elapsed > 0 else 0.0),
+            "batches": self.batches,
+            "shard_launches": self.shard_launches,
+            "batch_occupancy": (round(self.ops_launched / self.threads_launched,
+                                      _ROUND)
+                                if self.threads_launched else 0.0),
+            "latency": _percentiles(all_lat),
+            "tenants": tenants,
+        }
+
+
+def render_summary(summary: dict) -> str:
+    """Stable human-readable rendering (same dict -> same bytes)."""
+    lines = [
+        f"window          {summary['elapsed'] * 1e3:.3f} ms simulated",
+        f"offered         {summary['offered']} requests",
+        f"admitted        {summary['admitted']}  "
+        f"(shed {summary['shed']}, rate {summary['shed_rate']:.3f})",
+        f"completed       {summary['completed']}  "
+        f"(coalesced {summary['coalesced']})",
+        f"throughput      {summary['throughput_ops_per_s'] / 1e6:.3f} M ops/s sustained",
+        f"batches         {summary['batches']}  "
+        f"(occupancy {summary['batch_occupancy']:.3f}, "
+        f"shard launches {summary['shard_launches']})",
+    ]
+    lat = summary["latency"]
+    if lat["p50"] is not None:
+        lines.append(
+            f"latency         p50 {lat['p50'] * 1e6:.2f} us | "
+            f"p95 {lat['p95'] * 1e6:.2f} us | p99 {lat['p99'] * 1e6:.2f} us")
+    for name, t in summary["tenants"].items():
+        tl = t["latency"]
+        p99 = f"{tl['p99'] * 1e6:.2f} us" if tl["p99"] is not None else "n/a"
+        lines.append(
+            f"  {name}      offered {t['offered']:5d}  admitted {t['admitted']:5d}  "
+            f"shed {t['shed_rate']:.3f}  p99 {p99}")
+    return "\n".join(lines)
+
+
+def summary_json(summary: dict) -> str:
+    """Canonical JSON bytes for determinism checks and artefacts."""
+    return json.dumps(summary, indent=2, sort_keys=True)

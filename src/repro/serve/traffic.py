@@ -1,0 +1,112 @@
+"""Deterministic seeded traffic: open-loop multi-tenant request streams.
+
+Each tenant is an independent open-loop client: Poisson arrivals at its
+configured rate (:func:`~repro.workloads.distributions.poisson_arrivals`),
+Zipfian key popularity (:func:`~repro.workloads.distributions.zipfian_keys`
+- the same skew machinery as the YCSB workload), and a configurable
+GET/SET/DELETE mix.  Open-loop means arrivals never wait for responses:
+when the service falls behind, load does not politely back off - which is
+exactly the regime admission control exists for.
+
+Determinism: every tenant derives its generator from
+``np.random.default_rng([seed, tenant_index])``, so streams are
+reproducible per seed, independent of tenant count ordering, and the whole
+service run is a pure function of its configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..workloads.distributions import poisson_arrivals, zipfian_keys
+
+_MASK63 = (1 << 63) - 1
+
+
+@dataclass
+class Request:
+    """One client request, stamped with its open-loop arrival time."""
+
+    tenant: str
+    op: str            # "set" | "get" | "delete"
+    key: int
+    value: int
+    arrival: float
+
+
+@dataclass
+class TenantStream:
+    """One tenant's full request schedule, sorted by arrival."""
+
+    tenant: str
+    requests: list = field(default_factory=list)
+
+
+@dataclass
+class TrafficConfig:
+    """Shape of the offered load."""
+
+    tenants: int = 4
+    #: per-tenant offered rate, ops per simulated second
+    rate: float = 500_000.0
+    #: simulated seconds of traffic
+    duration: float = 2e-3
+    #: fraction of requests that are GETs
+    read_fraction: float = 0.5
+    #: fraction of requests that are DELETEs (the rest are SETs)
+    delete_fraction: float = 0.05
+    #: Zipfian skew (0 = uniform; YCSB default 0.99)
+    theta: float = 0.99
+    #: key identifier space (keys are 1..key_space; 0 is the empty sentinel)
+    key_space: int = 16_384
+    seed: int = 42
+
+
+class TrafficGenerator:
+    """Materialises the per-tenant schedules from one config + seed."""
+
+    def __init__(self, config: TrafficConfig | None = None) -> None:
+        self.config = config or TrafficConfig()
+        cfg = self.config
+        if cfg.tenants < 1:
+            raise ValueError("need at least one tenant")
+        if not 0 <= cfg.read_fraction + cfg.delete_fraction <= 1:
+            raise ValueError("read_fraction + delete_fraction must be in [0, 1]")
+
+    @staticmethod
+    def tenant_name(index: int) -> str:
+        return f"tenant{index:02d}"
+
+    def stream(self, index: int) -> TenantStream:
+        """Tenant ``index``'s full schedule (pure function of the seed)."""
+        cfg = self.config
+        rng = np.random.default_rng([cfg.seed, index])
+        arrivals = poisson_arrivals(cfg.rate, cfg.duration, rng)
+        n = arrivals.size
+        name = self.tenant_name(index)
+        if n == 0:
+            return TenantStream(tenant=name)
+        keys = zipfian_keys(n, cfg.key_space, cfg.theta, rng)
+        rolls = rng.random(n)
+        values = rng.integers(1, _MASK63, size=n, dtype=np.uint64)
+        ops = np.where(
+            rolls < cfg.read_fraction, "get",
+            np.where(rolls < cfg.read_fraction + cfg.delete_fraction,
+                     "delete", "set"),
+        )
+        requests = [
+            Request(tenant=name, op=str(ops[i]), key=int(keys[i]),
+                    value=int(values[i]), arrival=float(arrivals[i]))
+            for i in range(n)
+        ]
+        return TenantStream(tenant=name, requests=requests)
+
+    def streams(self) -> list[TenantStream]:
+        return [self.stream(i) for i in range(self.config.tenants)]
+
+    @property
+    def offered_total(self) -> float:
+        """Aggregate offered load, ops per simulated second."""
+        return self.config.tenants * self.config.rate

@@ -311,6 +311,57 @@ class Syscall(Event):
     count: int = 1
 
 
+# -- request-serving layer (repro.serve) -------------------------------------
+
+
+@_register
+@dataclass(slots=True)
+class ServiceRequest(Event):
+    """One client request passed admission control (or was shed).
+
+    Emitted by the serve front-end at arrival time; ``reason`` is empty for
+    admitted requests, else the shed cause (``tenant-rate`` for a drained
+    token bucket, ``queue-full`` for the global depth cap).  Pure software
+    bookkeeping - never a persistency boundary.
+    """
+
+    etype = "service_request"
+    tenant: str = ""
+    op: str = "set"  # set | get | delete
+    admitted: bool = True
+    reason: str = ""
+
+
+@_register
+@dataclass(slots=True)
+class ServiceBatch(Event):
+    """The batcher launched one coalesced kernel batch.
+
+    ``threads`` is the warp-sized launch footprint (a multiple of 32);
+    ``n_ops`` the live requests inside it, so ``n_ops / threads`` is the
+    batch occupancy.  ``shards`` counts the per-shard kernel launches the
+    flush fanned into.
+    """
+
+    etype = "service_batch"
+    op: str = "set"  # set | get | delete
+    n_ops: int = 0
+    threads: int = 0
+    shards: int = 1
+
+
+@_register
+@dataclass(slots=True)
+class ServiceComplete(Event):
+    """One admitted request finished; ``latency`` is simulated seconds."""
+
+    etype = "service_complete"
+    tenant: str = ""
+    op: str = "set"
+    latency: float = 0.0
+    coalesced: bool = False
+
+
 # -- machine lifecycle -------------------------------------------------------
 
 

@@ -1,0 +1,61 @@
+"""Shared random-distribution helpers for workload and traffic generation.
+
+Key popularity and arrival processes used to be private to one workload
+(``workloads/ycsb.py``); the request-serving layer (:mod:`repro.serve`)
+draws from the same distributions, so they live here and both import them.
+Everything is a pure function of its ``numpy.random.Generator`` argument -
+given the same seeded generator, the same draws come out, which is what the
+service layer's byte-identical-summary determinism rests on
+(``tests/workloads/test_distributions.py`` pins goldens).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipfian_keys(n: int, key_space: int, theta: float,
+                 rng: np.random.Generator) -> np.ndarray:
+    """Draw ``n`` keys from a Zipfian(theta) distribution over the space.
+
+    ``theta`` = 0 is uniform; YCSB's default is 0.99.  Uses the standard
+    rank-probability construction (adequate at our scaled key spaces).
+    """
+    if not 0 <= theta < 1:
+        raise ValueError("theta must be in [0, 1)")
+    if theta == 0:
+        return rng.integers(1, key_space + 1, size=n, dtype=np.uint64)
+    ranks = np.arange(1, key_space + 1, dtype=np.float64)
+    weights = ranks ** (-theta)
+    weights /= weights.sum()
+    # Popular ranks get scattered identities so skew is about *reuse*, not
+    # address adjacency.
+    identity = rng.permutation(key_space).astype(np.uint64) + 1
+    drawn = rng.choice(key_space, size=n, p=weights)
+    return identity[drawn]
+
+
+def poisson_arrivals(rate: float, duration: float,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Open-loop Poisson arrival times in ``[0, duration)`` at ``rate``/s.
+
+    Exponential interarrival gaps accumulated until the horizon; the draw
+    count adapts to the realisation, so the stream is exactly the prefix a
+    longer horizon would produce (arrival processes compose across
+    ``duration`` changes).
+    """
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    if duration <= 0:
+        return np.empty(0, dtype=np.float64)
+    times: list[np.ndarray] = []
+    now = 0.0
+    # Draw in chunks sized to the expectation; loop until the horizon.
+    chunk = max(16, int(rate * duration * 1.2))
+    while now < duration:
+        gaps = rng.exponential(1.0 / rate, size=chunk)
+        t = now + np.cumsum(gaps)
+        times.append(t)
+        now = float(t[-1])
+    all_times = np.concatenate(times)
+    return all_times[all_times < duration]

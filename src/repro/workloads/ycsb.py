@@ -24,6 +24,7 @@ import numpy as np
 
 from ..experiments.results import ExperimentTable
 from .base import Mode
+from .distributions import zipfian_keys  # noqa: F401  (re-exported; shared with repro.serve)
 from .kvs import GpKvs, KvsConfig
 
 MIXES = {
@@ -32,27 +33,6 @@ MIXES = {
     "B": 0.05,      # 5% SETs (the paper's 95:5 configuration)
     "C": 0.00,      # read-only
 }
-
-
-def zipfian_keys(n: int, key_space: int, theta: float,
-                 rng: np.random.Generator) -> np.ndarray:
-    """Draw ``n`` keys from a Zipfian(theta) distribution over the space.
-
-    ``theta`` = 0 is uniform; YCSB's default is 0.99.  Uses the standard
-    rank-probability construction (adequate at our scaled key spaces).
-    """
-    if not 0 <= theta < 1:
-        raise ValueError("theta must be in [0, 1)")
-    if theta == 0:
-        return rng.integers(1, key_space + 1, size=n, dtype=np.uint64)
-    ranks = np.arange(1, key_space + 1, dtype=np.float64)
-    weights = ranks ** (-theta)
-    weights /= weights.sum()
-    # Popular ranks get scattered identities so skew is about *reuse*, not
-    # address adjacency.
-    identity = rng.permutation(key_space).astype(np.uint64) + 1
-    drawn = rng.choice(key_space, size=n, p=weights)
-    return identity[drawn]
 
 
 @dataclass

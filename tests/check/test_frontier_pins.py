@@ -1,6 +1,6 @@
 """Seed-corpus frontier-count pins: the explored crash space cannot shrink.
 
-The six hand-written oracle targets double as the litmus fuzzer's seed
+The hand-written oracle targets double as the litmus fuzzer's seed
 corpus.  Their reference runs' frontier counts are pinned here (and in
 ``repro.check.litmus.SEED_CORPUS``): a generator or event-bus refactor
 that silently drops frontier-tagged events - shrinking the crash space
@@ -26,7 +26,7 @@ def test_frontier_count_pinned(target, expected):
     assert len(CrashExplorer(target).record()) == expected
 
 
-def test_pins_cover_all_six_targets():
+def test_pins_cover_all_targets():
     from repro.check import CHECK_TARGETS
 
     assert set(SEED_CORPUS) == set(CHECK_TARGETS)

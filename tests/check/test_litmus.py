@@ -8,6 +8,7 @@ import pytest
 
 from repro.check.litmus import (
     DEFAULT_LITMUS_FRONTIERS,
+    REGION_BYTES,
     SLOT_STRIDE,
     ConfigPoint,
     LitmusExplorer,
@@ -66,7 +67,7 @@ class TestGenerator:
                         slot = (region, base + t)
                         assert slot not in seen
                         seen.add(slot)
-                        assert (base + t + 1) * SLOT_STRIDE <= 16384
+                        assert (base + t + 1) * SLOT_STRIDE <= REGION_BYTES
 
     def test_values_unique_and_nonzero(self):
         for test in generate_tests(5, 10):

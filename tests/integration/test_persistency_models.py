@@ -7,7 +7,7 @@ Three layers of evidence that the model axis is real, not cosmetic:
 2. the SIMT engine's fence accounting and event stream change exactly as
    each model's ordering rules dictate (epoch coalescing, relaxed
    kernel-end drains, epoch-boundary events at barriers);
-3. ``repro.check`` explores the models' crash-state spaces: the six oracle
+3. ``repro.check`` explores the models' crash-state spaces: the oracle
    targets' frontier taxonomies under ``Epoch`` differ from strict only in
    the drain-coalescing kinds plus the new ``epoch-boundary`` kind, and the
    deliberate fence-ordering bug in ``broken-demo`` is caught under strict

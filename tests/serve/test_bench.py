@@ -1,0 +1,77 @@
+"""The service benchmark record and its CI validation gate."""
+
+import json
+
+from repro.serve.bench import (
+    SMOKE_OVERRIDES,
+    run_service_bench,
+    validate_service_record,
+)
+
+
+class TestRunServiceBench:
+    def test_smoke_record_shape(self, tmp_path):
+        out = tmp_path / "BENCH_service.json"
+        record = run_service_bench(smoke=True, out=str(out))
+        on_disk = json.loads(out.read_text())
+        assert on_disk == record
+        assert record["smoke"] is True
+        assert record["wall_s"] > 0
+        assert record["cpu_count"] >= 1
+        assert record["config"]["tenants"] == SMOKE_OVERRIDES["tenants"]
+        summary = record["summary"]
+        assert summary["throughput_ops_per_s"] > 0
+        for t in summary["tenants"].values():
+            assert set(t["latency"]) == {"p50", "p95", "p99"}
+        assert validate_service_record(record) == []
+
+    def test_summary_deterministic_across_bench_runs(self, tmp_path):
+        a = run_service_bench(smoke=True, out=str(tmp_path / "a.json"))
+        b = run_service_bench(smoke=True, out=str(tmp_path / "b.json"))
+        assert a["summary"] == b["summary"]
+        assert a["config"] == b["config"]
+
+
+class TestValidateServiceRecord:
+    BASE = {
+        "summary": {
+            "offered": 100, "completed": 90, "shed_rate": 0.1,
+            "latency": {"p50": 1e-5, "p95": 2e-5, "p99": 3e-5},
+            "tenants": {
+                "tenant00": {"completed": 90,
+                             "latency": {"p50": 1e-5, "p95": 2e-5,
+                                         "p99": 3e-5}},
+            },
+        },
+    }
+
+    def _record(self, **summary_overrides):
+        record = json.loads(json.dumps(self.BASE))
+        record["summary"].update(summary_overrides)
+        return record
+
+    def test_healthy_record_passes(self):
+        assert validate_service_record(self._record()) == []
+
+    def test_total_shed_fails(self):
+        problems = validate_service_record(
+            self._record(shed_rate=1.0, completed=0))
+        assert any("shed rate is 100%" in p for p in problems)
+        assert any("no requests completed" in p for p in problems)
+
+    def test_empty_window_fails(self):
+        problems = validate_service_record(self._record(offered=0))
+        assert any("no requests were offered" in p for p in problems)
+
+    def test_non_finite_p99_fails_globally_and_per_tenant(self):
+        record = self._record(latency={"p50": 1e-5, "p95": 2e-5, "p99": None})
+        record["summary"]["tenants"]["tenant00"]["latency"]["p99"] = float("inf")
+        problems = validate_service_record(record)
+        assert any("p99 latency is non-finite" in p for p in problems)
+        assert any(p.startswith("tenant00:") for p in problems)
+
+    def test_tenant_without_completions_not_flagged(self):
+        record = self._record()
+        record["summary"]["tenants"]["tenant01"] = {
+            "completed": 0, "latency": {"p50": None, "p95": None, "p99": None}}
+        assert validate_service_record(record) == []

@@ -98,6 +98,38 @@ class TestEngineCli:
                                              "BINO": "warp"}
 
 
+class TestServeCli:
+    ARGS = ["serve", "--tenants", "2", "--shards", "2", "--rate", "300000",
+            "--duration", "0.0003", "--seed", "11"]
+
+    def test_serve_prints_summary(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "served 2 tenants" in out
+        assert "2 log shards, seed 11" in out
+        assert "throughput" in out and "p99" in out
+
+    def test_serve_json_is_byte_identical_per_seed(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--json"]) == 0
+        assert capsys.readouterr().out == first
+        assert main(["serve"] + self.ARGS[1:-1] + ["12", "--json"]) == 0
+        assert capsys.readouterr().out != first
+
+    def test_bench_service_smoke_writes_and_validates(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_service.json"
+        assert main(["bench", "--service", "--smoke", "--out", str(out)]) == 0
+        printed = capsys.readouterr()
+        assert "saved" in printed.out
+        assert "FAIL" not in printed.err
+        import json
+
+        record = json.loads(out.read_text())
+        assert record["smoke"] is True
+        assert record["summary"]["completed"] > 0
+
+
 class TestCheckCli:
     def test_list_includes_check_targets(self, capsys):
         assert main(["list"]) == 0

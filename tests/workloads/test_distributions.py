@@ -1,0 +1,89 @@
+"""Shared distributions: pinned goldens and composition properties.
+
+``repro.workloads.distributions`` feeds both the YCSB driver and the
+serving layer's traffic generator; the service's byte-identical-summary
+determinism rests on these draws never silently changing.  The goldens pin
+the exact byte stream a fixed seed produces - a numpy upgrade or an
+"equivalent" reimplementation that shifts any draw fails here first, with
+a much better error message than a drifted service summary.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import poisson_arrivals, zipfian_keys
+
+
+def _sha(arr: np.ndarray) -> str:
+    return hashlib.sha256(arr.tobytes()).hexdigest()
+
+
+class TestZipfianKeys:
+    def test_golden_head_and_digest(self):
+        rng = np.random.default_rng(1234)
+        keys = zipfian_keys(4096, 1000, 0.99, rng)
+        assert keys.dtype == np.uint64
+        assert keys[:12].tolist() == [12, 914, 170, 315, 315, 423,
+                                      252, 910, 232, 7, 768, 730]
+        assert _sha(keys) == ("88c1226f4c23a95e82a8fde3915a779481535"
+                              "6cc20573971a035f3e8762a0395")
+
+    def test_uniform_theta_zero_golden(self):
+        rng = np.random.default_rng(7)
+        keys = zipfian_keys(4096, 500, 0.0, rng)
+        assert _sha(keys) == ("32b7bc81584628f417222aaa5bece9abd9c46"
+                              "de2c39759c627e274edf8511204")
+
+    def test_same_seed_same_draw(self):
+        a = zipfian_keys(256, 100, 0.9, np.random.default_rng(5))
+        b = zipfian_keys(256, 100, 0.9, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_keys_stay_in_space_and_nonzero(self):
+        for theta in (0.0, 0.5, 0.99):
+            keys = zipfian_keys(2048, 64, theta, np.random.default_rng(3))
+            assert keys.min() >= 1
+            assert keys.max() <= 64
+
+    def test_skew_concentrates_mass(self):
+        rng = np.random.default_rng(11)
+        skewed = zipfian_keys(8192, 1024, 0.99, rng)
+        top = np.bincount(skewed.astype(np.int64)).max()
+        rng = np.random.default_rng(11)
+        uniform = zipfian_keys(8192, 1024, 0.0, rng)
+        assert top > 3 * np.bincount(uniform.astype(np.int64)).max()
+
+    def test_rejects_bad_theta(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            zipfian_keys(8, 16, -0.1, rng)
+        with pytest.raises(ValueError):
+            zipfian_keys(8, 16, 1.0, rng)
+
+
+class TestPoissonArrivals:
+    def test_golden_digest(self):
+        rng = np.random.default_rng(99)
+        times = poisson_arrivals(1e6, 2e-3, rng)
+        assert times.size == 1899
+        assert _sha(times) == ("4cadc5c9915c3add1806504dc1aad91555185"
+                               "4f799827b7d759e88db6ed2524d")
+
+    def test_sorted_and_bounded(self):
+        times = poisson_arrivals(1e6, 2e-5, np.random.default_rng(99))
+        assert np.all(np.diff(times) > 0)
+        assert times.size and times[0] >= 0 and times[-1] < 2e-5
+
+    def test_longer_horizon_extends_the_same_stream(self):
+        # The docstring's composition claim: a shorter duration is exactly
+        # the prefix of a longer one under the same seeded generator.
+        short = poisson_arrivals(2e6, 1e-4, np.random.default_rng(21))
+        long = poisson_arrivals(2e6, 5e-4, np.random.default_rng(21))
+        assert np.array_equal(short, long[: short.size])
+
+    def test_empty_and_invalid(self):
+        assert poisson_arrivals(1e6, 0.0, np.random.default_rng(1)).size == 0
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 1e-3, np.random.default_rng(1))
