@@ -88,6 +88,7 @@ SEED_CORPUS = {
     "prefix_sum": 184,
     "kvs": 111,
     "kvs-delete": 183,
+    "db-update": 58,
     "checkpointed-dnn": 60,
     "hashmap": 93,
     "ring": 18,

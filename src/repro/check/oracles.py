@@ -27,6 +27,7 @@ from ..core.persist import persist_window
 from ..gpu.memory import DeviceArray
 from ..pstruct import PersistentHashMap, PersistentRing
 from ..workloads.base import Mode
+from ..workloads.db import _META_BYTES, ROW_COLUMNS, DbConfig, GpDb
 from ..workloads.dnn import DnnTraining
 from ..workloads.kvs import GpKvs, KvsConfig, hash64
 from ..workloads.lenet import LeNet, synthetic_mnist
@@ -331,6 +332,122 @@ class KvsDeleteOracle(CrashOracle):
                        "keys of the last committed DELETE batch stay absent",
                        absent_after_committed_delete))
         return checks
+
+
+# ---------------------------------------------------------------------------
+# gpDB UPDATE
+# ---------------------------------------------------------------------------
+
+#: ``initial_rows`` is a power of two, so the Fibonacci-stride row selection
+#: is collision-free within a batch (the constant is odd, hence invertible
+#: modulo any power of two) - per-thread undo stays order-independent, the
+#: regime gpDB's batching assumes.  Updates run on the warp lane when no
+#: injector is armed, so the recovery kernel's warp form (batched HCL
+#: ``read_warp``/``remove_warp``) is what this oracle replays under crashes.
+_DB_CONFIG = dict(capacity_rows=512, initial_rows=256, update_batch=64,
+                  update_batches=2, block_dim=32, seed=11, use_hcl=True)
+
+
+@lru_cache(maxsize=1)
+def _db_reference_prefixes() -> tuple:
+    """Durable table images after 0, 1, ... committed UPDATE batches.
+
+    A host replay of :func:`~repro.workloads.db.update_kernel`'s row
+    selection and two-column write; UPDATEs never change the row count, so
+    every link uses the same ``initial_rows`` modulus.
+    """
+    cfg = DbConfig(**_DB_CONFIG)
+    rng = np.random.default_rng(cfg.seed)
+    table = np.zeros(cfg.capacity_rows * ROW_COLUMNS, dtype=np.uint64)
+    init = rng.integers(1, 1 << 63, size=cfg.initial_rows * ROW_COLUMNS,
+                        dtype=np.uint64)
+    table[: init.size] = init
+    snapshots = [table.copy()]
+    for b in range(cfg.update_batches):
+        seed = cfg.seed + 100 + b
+        h = hash64(seed)
+        for i in range(cfg.update_batch):
+            row = (h + i * 2654435761) % cfg.initial_rows
+            new_val = np.uint64(hash64(seed + i) or 1)
+            table[row * ROW_COLUMNS + 2] = new_val
+            table[row * ROW_COLUMNS + 5] = new_val ^ np.uint64(0xFF)
+        snapshots.append(table.copy())
+    return tuple(snapshots)
+
+
+class DbUpdateOracle(CrashOracle):
+    """gpDB batched UPDATEs: HCL undo logging makes batches atomic."""
+
+    name = "db-update"
+    #: log-before-table ordering holds under epoch persistency (both fences
+    #: share one epoch whose drain preserves per-round program order) and
+    #: under the adaptive path (a region's staged backlog flushes before
+    #: any direct write) - the same argument as :class:`KvsOracle`.
+    modes = (Mode.GPM, Mode.GPM_EPOCH, Mode.GPM_ADAPTIVE)
+    supports_thread_injection = True
+
+    def execute(self, system, mode: Mode, injector) -> None:
+        self._workload = GpDb("update", DbConfig(**_DB_CONFIG))
+        self._workload.run(mode, system=system, crash_injector=injector)
+
+    def register_recovery_handlers(self, manager, system, mode: Mode) -> None:
+        # The undo kernel must run before the generic rules truncate the
+        # HCL log; one handler claims all the gpDB files.
+        state = {"done": False}
+        workload = self._workload
+
+        def recover_db(sys_, file_report) -> float:
+            if state["done"]:
+                return 0.0
+            state["done"] = True
+            # The transaction flag is created only after the table's setup
+            # image is durably persisted; without it nothing was begun.
+            for path in ("/pm/gpdb.flag", "/pm/gpdb.log", "/pm/gpdb.table"):
+                if not sys_.fs.exists(path):
+                    return 0.0
+            return workload.recover(sys_, mode)
+
+        manager.register_handler("/pm/gpdb", recover_db)
+
+    def declare_invariants(self, system, mode: Mode,
+                           observation: RunObservation) -> list:
+        cfg = self._workload.config
+        matched: dict[str, int | None] = {"prefix": None}
+
+        def batch_atomicity() -> tuple[bool, str]:
+            if not system.fs.exists("/pm/gpdb.flag"):
+                # Setup's full-table persist strictly precedes flag
+                # creation, so no transaction ever began.
+                matched["prefix"] = 0
+                return True, "crash predates the transaction flag"
+            table = gpm_map(system, "/pm/gpdb.table")
+            rows = table.region.persisted_view(np.uint64, _META_BYTES,
+                                               cfg.capacity_rows * ROW_COLUMNS)
+            for k, ref in enumerate(_db_reference_prefixes()):
+                if np.array_equal(rows, ref):
+                    matched["prefix"] = k
+                    return True, f"table is exactly the {k}-batch prefix state"
+            return False, ("recovered table matches no committed-batch "
+                           "prefix: an UPDATE batch was applied partially")
+
+        def row_count_stable() -> tuple[bool, str]:
+            if not system.fs.exists("/pm/gpdb.flag"):
+                return True, "crash predates the transaction flag"
+            table = gpm_map(system, "/pm/gpdb.table")
+            count = int(table.region.persisted_view(np.uint64, 0, 1)[0])
+            if count != cfg.initial_rows:
+                return False, (f"durable row count {count} != "
+                               f"{cfg.initial_rows}: UPDATEs changed the count")
+            return True, f"durable row count stays {count}"
+
+        return [
+            ("db-update-atomicity",
+             "the recovered table is a committed-batch prefix",
+             batch_atomicity),
+            ("db-update-count-stable",
+             "UPDATE batches never move the durable row count",
+             row_count_stable),
+        ]
 
 
 # ---------------------------------------------------------------------------
@@ -656,6 +773,7 @@ CHECK_TARGETS: dict[str, type[CrashOracle]] = {
     PrefixSumOracle.name: PrefixSumOracle,
     KvsOracle.name: KvsOracle,
     KvsDeleteOracle.name: KvsDeleteOracle,
+    DbUpdateOracle.name: DbUpdateOracle,
     CheckpointedDnnOracle.name: CheckpointedDnnOracle,
     HashMapOracle.name: HashMapOracle,
     RingOracle.name: RingOracle,

@@ -116,6 +116,40 @@ class ConventionalLog:
         ctx.store(region, self._count_offset(p), count + nbytes, np.uint32)
         ctx.persist()
 
+    def insert_warp(self, wctx, chunks, partition: int = -1, lanes=None) -> None:
+        """Warp form of :meth:`insert`: ``chunks`` is ``(k, n)`` uint32.
+
+        Same-partition inserts are serialised by the lock, so lanes append
+        one at a time in lane order - each lane's count load observes the
+        previous lane's bump, exactly as the scalar path does.  The warp
+        form exists so callers can stay on the warp lane; it buys coalesced
+        drains, not lock-free appends.
+        """
+        chunks = np.asarray(chunks, dtype=np.uint32)
+        if chunks.ndim == 1:
+            chunks = chunks.reshape(1, -1)
+        sel = wctx.active(lanes)
+        nbytes = chunks.shape[1] * 4
+        region = self.gpm.region
+        for j in range(sel.size):
+            lane = sel[j:j + 1]
+            p = self._partition_for(wctx, partition)
+            self._charge_lock(wctx, p, nbytes)
+            count = int(wctx.load(region, np.array([self._count_offset(p)]),
+                                  np.uint32, lanes=lane)[0])
+            if count + nbytes > self.partition_bytes:
+                raise LogFull(
+                    f"partition {p}: {count}+{nbytes} exceeds {self.partition_bytes}"
+                )
+            base = self.data_offset + p * self.partition_bytes
+            wctx.store(region, np.array([base + count]),
+                       chunks[j].reshape(1, -1), np.uint32, lanes=lane)
+            wctx.persist(lane)
+            wctx.store(region, np.array([self._count_offset(p)]),
+                       np.array([count + nbytes], dtype=np.uint32),
+                       np.uint32, lanes=lane)
+            wctx.persist(lane)
+
     def read(self, ctx: ThreadContext, entry_bytes: int, partition: int = -1) -> np.ndarray:
         """Read the partition's most recent entry."""
         padded = _align(entry_bytes, 4)

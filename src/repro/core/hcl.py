@@ -231,6 +231,71 @@ class HclLog:
                    lanes=sel)
         wctx.persist(sel)
 
+    def _warp_identity(self, wctx, sel):
+        """Per-lane (warp_flat, lane, slot, tail byte offset) for a warp."""
+        if (wctx.block_id >= self.blocks
+                or wctx.block_dim > self.threads_per_block):
+            raise GpmError(
+                f"kernel geometry exceeds log geometry "
+                f"({self.blocks}x{self.threads_per_block})"
+            )
+        thread_flats = wctx.thread_flats[sel]
+        warp_flat = wctx.block_id * self.warps_per_block + wctx.warp_in_block
+        lane_ids = thread_flats % _WARP
+        slots = wctx.block_id * self.threads_per_block + thread_flats
+        tail_offs = self.tails_offset + slots.astype(np.int64) * 4
+        return warp_flat, lane_ids, slots, tail_offs
+
+    def read_warp(self, wctx, entry_bytes: int,
+                  lanes=None) -> tuple[np.ndarray, np.ndarray]:
+        """Warp-vectorized :meth:`read` of each lane's most recent entry.
+
+        Where the scalar read raises :class:`LogEmpty` per thread, the warp
+        form *filters*: lanes whose tail holds fewer than the entry's chunks
+        are charged their tail load (exactly what the scalar thread pays
+        before raising) and dropped.  Returns ``(entries, live)`` - a
+        ``(k_live, chunks)`` uint32 array and the surviving lane indices.
+        """
+        n = chunks_needed(entry_bytes)
+        sel = wctx.active(lanes)
+        warp_flat, lane_ids, _slots, tail_offs = self._warp_identity(wctx, sel)
+        region = self.gpm.region
+        tails = wctx.load(region, tail_offs, np.uint32).astype(np.int64)
+        ok = tails >= n
+        live = sel[ok]
+        if live.size == 0:
+            return np.empty((0, n), dtype=np.uint32), live
+        t_ok = tails[ok]
+        lane_ok = lane_ids[ok]
+        warp_base = self.data_offset + warp_flat * self.chunks_per_thread * _STRIPE
+        chunks = np.empty((live.size, n), dtype=np.uint32)
+        for c in range(n):
+            if self.striped:
+                offs = warp_base + (t_ok - n + c) * _STRIPE + lane_ok * _CHUNK
+            else:
+                offs = (warp_base + lane_ok * self.chunks_per_thread * _CHUNK
+                        + (t_ok - n + c) * _CHUNK)
+            chunks[:, c] = wctx.load(region, offs, np.uint32)
+        return chunks, live
+
+    def remove_warp(self, wctx, entry_bytes: int, lanes=None) -> None:
+        """Warp-vectorized :meth:`remove`: pop each lane's latest entry."""
+        n = chunks_needed(entry_bytes)
+        sel = wctx.active(lanes)
+        if sel.size == 0:
+            return
+        _warp_flat, _lane_ids, slots, tail_offs = self._warp_identity(wctx, sel)
+        region = self.gpm.region
+        tails = wctx.load(region, tail_offs, np.uint32).astype(np.int64)
+        if (tails < n).any():
+            slot = int(slots[int(np.argmin(tails))])
+            raise LogEmpty(
+                f"thread slot {slot}: tail {int(tails.min())} < entry of {n} chunks"
+            )
+        wctx.store(region, tail_offs, (tails - n).astype(np.uint32), np.uint32,
+                   lanes=sel)
+        wctx.persist(sel)
+
     def read(self, ctx: ThreadContext, entry_bytes: int) -> np.ndarray:
         """Read the calling thread's most recent entry (as uint8)."""
         n = chunks_needed(entry_bytes)

@@ -66,15 +66,26 @@ def execution_lanes() -> dict[str, str]:
     disengaging is a performance bug that no correctness test would catch.
     """
     from ..workloads.base import Mode
+    from ..workloads.bfs import BfsConfig, GraphBfs
     from ..workloads.binomial import BinomialConfig, BinomialOptions
+    from ..workloads.db import DbConfig, GpDb
     from ..workloads.kvs import GpKvs, KvsConfig
     from ..workloads.prefix_sum import PrefixSum, PrefixSumConfig
+    from ..workloads.srad import Srad, SradConfig
 
     probes = {
         "PS": PrefixSum(PrefixSumConfig(n=1024, block_dim=256)),
         "KVS": GpKvs(KvsConfig(n_sets=256, batch_size=128, set_batches=1)),
         "BINO": BinomialOptions(BinomialConfig(n_options=8, steps=16,
                                                block_dim=32)),
+        "SRAD": Srad(SradConfig(n=48, iterations=1)),
+        "BFS": GraphBfs(BfsConfig(rows=12, cols=16, engine="kernel")),
+        "DB-I": GpDb("insert", DbConfig(capacity_rows=1024, initial_rows=256,
+                                        insert_batch=128, insert_batches=1,
+                                        block_dim=64)),
+        "DB-U": GpDb("update", DbConfig(capacity_rows=512, initial_rows=256,
+                                        update_batch=128, update_batches=1,
+                                        block_dim=64)),
     }
     lanes = {}
     for name, workload in probes.items():

@@ -48,7 +48,7 @@ from ..sim.events import (
 )
 from ..sim.machine import Machine
 from ..sim.memory import MemKind, Region
-from ..sim.optane import merge_segments
+from ..sim.optane import merge_segments, merge_segments_grouped
 from ..sim.persistency import active_mutant
 from .hierarchy import Dim3, ThreadId, warps_in_grid
 from .kernel import (
@@ -65,9 +65,19 @@ from .warp import WarpContext, resolve_warp_impl
 class _BlockEngine:
     """Shared machinery between the threads of one launch."""
 
-    def __init__(self, machine: Machine, acct: LaunchAccounting) -> None:
+    def __init__(self, machine: Machine, acct: LaunchAccounting,
+                 defer: bool = False) -> None:
         self.machine = machine
         self.acct = acct
+        #: With ``defer`` (no crash injector armed), warp-round drains are
+        #: queued in delivery order and batched per region at the next
+        #: barrier/finish - one numpy pass over thousands of warps instead
+        #: of per-warp merge/epoch calls.  Events, accounting and the
+        #: persisted image are identical: mid-launch persistence frontiers
+        #: are only observable through crash injection, which always runs
+        #: the unbatched path.
+        self.defer = defer
+        self._deferred: list = []
         #: fence ordering applied this launch - the machine's persistency
         #: model decides (strict: every fence is its own ordered drain
         #: round; epoch: fences coalesce per epoch, ordering only across
@@ -158,7 +168,10 @@ class _BlockEngine:
         for round_no in sorted(buf.rounds,
                                reverse=active_mutant() == "fence-order"):
             for region, starts, lengths in buf.rounds[round_no].values():
-                self._deliver(region, starts, lengths, round_no)
+                if self.defer:
+                    self._deferred.append((region, starts, lengths, round_no))
+                else:
+                    self._deliver(region, starts, lengths, round_no)
 
     def flush_all(self) -> None:
         for warp in list(self._buffers):
@@ -173,6 +186,7 @@ class _BlockEngine:
         next epoch.  Callers flush first, so the boundary lands after the
         epoch's drains in the event stream.
         """
+        self._flush_deferred()
         if self.policy != "epoch" or not self._epoch_dirty:
             return
         nxt = self.machine.persistency.advance_epoch(self._epoch)
@@ -202,6 +216,88 @@ class _BlockEngine:
         self.acct.host_write_bytes += nbytes
         self.acct.host_write_tx += self.machine.pcie.transactions_for(s, l)
         self.acct.pm_media_time += self.machine.io_write_arrival(region, s, l)
+
+    def _flush_deferred(self) -> None:
+        """Deliver the queued warp-round drains, batched per region.
+
+        Consecutive same-region queue entries become the groups of one
+        :func:`merge_segments_grouped` pass; each group then gets the same
+        :class:`WarpDrain` event, accounting, and (via the machine's
+        ``before_group`` hook) event interleaving that :meth:`_deliver`
+        would have produced for it, while the merge, XPLine and PCIe
+        arithmetic for all groups run vectorized.  Routes that cannot batch
+        (DDIO installs, adaptive routing) fall back to per-entry delivery.
+        """
+        queue = self._deferred
+        if not queue:
+            return
+        self._deferred = []
+        machine = self.machine
+        acct = self.acct
+        tx_bytes = machine.config.pcie_tx_bytes
+        i, n = 0, len(queue)
+        while i < n:
+            region = queue[i][0]
+            j = i
+            while j < n and queue[j][0] is region:
+                j += 1
+            entries = queue[i:j]
+            i = j
+            if len(entries) == 1:
+                self._deliver(*entries[0])
+                continue
+            flat_s, flat_l, flat_g = [], [], []
+            for g, (_region, starts, lengths, _round) in enumerate(entries):
+                if starts and isinstance(starts[0], np.ndarray):
+                    s = np.concatenate(starts)
+                    l = np.concatenate(lengths)
+                else:
+                    s = np.asarray(starts, dtype=np.int64)
+                    l = np.asarray(lengths, dtype=np.int64)
+                flat_s.append(s)
+                flat_l.append(l)
+                flat_g.append(np.full(s.size, g, dtype=np.int64))
+            s_all = np.concatenate(flat_s)
+            l_all = np.concatenate(flat_l)
+            if s_all.size == 0 or (l_all <= 0).any():
+                # Degenerate segments: keep the reference path's handling.
+                for entry in entries:
+                    self._deliver(*entry)
+                continue
+            n_groups = len(entries)
+            run_s, run_l, run_g = merge_segments_grouped(
+                s_all, l_all, np.concatenate(flat_g), region.size + 1)
+            bounds = np.searchsorted(run_g, np.arange(n_groups + 1)).tolist()
+            nbytes_g = np.bincount(run_g, weights=run_l,
+                                   minlength=n_groups).astype(np.int64)
+            spans = (run_s + run_l - 1) // tx_bytes - run_s // tx_bytes + 1
+            tx_g = np.bincount(run_g, weights=spans,
+                               minlength=n_groups).astype(np.int64)
+            nbytes_l = nbytes_g.tolist()
+            emit = machine.events.emit
+            name = region.name
+
+            def _drain(g, bounds=bounds, entries=entries, run_s=run_s,
+                       run_l=run_l, nbytes_l=nbytes_l, name=name):
+                lo, hi = bounds[g], bounds[g + 1]
+                round_no = entries[g][3]
+                emit(WarpDrain(
+                    region=name,
+                    round_no=-1 if round_no == _IMPLICIT_ROUND else round_no,
+                    segments=hi - lo, nbytes=nbytes_l[g],
+                    starts=run_s[lo:hi], lengths=run_l[lo:hi],
+                ))
+
+            times = machine.io_write_arrival_groups(
+                region, run_s, run_l, run_g, n_groups, before_group=_drain)
+            if times is None:
+                for entry in entries:
+                    self._deliver(*entry)
+                continue
+            acct.host_write_bytes += int(nbytes_g.sum())
+            acct.host_write_tx += int(tx_g.sum())
+            for t in times.tolist():
+                acct.pm_media_time += t
 
     def finish(self) -> None:
         self.flush_all()
@@ -272,7 +368,7 @@ class Gpu:
             raise GpuFault(f"block of {block.count} threads exceeds the 1024-thread limit")
         warp_size = self.config.gpu_warp_size
         acct = LaunchAccounting()
-        engine = _BlockEngine(self.machine, acct)
+        engine = _BlockEngine(self.machine, acct, defer=crash_injector is None)
         before = self.machine.stats.snapshot()
         total_threads = grid.count * block.count
         acct.ops += compute_ops_per_thread * total_threads
@@ -507,11 +603,10 @@ class Gpu:
             raise ValueError(
                 f"values supply {raw.size} bytes for {n} items of {item_bytes} B"
             )
-        flat = raw.reshape(n, item_bytes)
-        # Functional scatter.
-        vis = region.visible
-        for off, row in zip(offsets.tolist(), flat):
-            vis[off : off + item_bytes] = row
+        # Functional scatter: one fancy-indexed assignment; duplicate offsets
+        # resolve last-item-wins, as the sequential store loop would.
+        idx = (offsets[:, None] + np.arange(item_bytes, dtype=np.int64)).reshape(-1)
+        region.visible[idx] = raw
         lengths = np.full(n, item_bytes, dtype=np.int64)
         nbytes_total = n * item_bytes
         if region.kind is MemKind.HBM:
@@ -530,12 +625,29 @@ class Gpu:
         n_warps = (n + warp - 1) // warp
         total_tx = 0
         media = 0.0
-        for w in range(n_warps):
-            s = offsets[w * warp : (w + 1) * warp]
-            l = lengths[w * warp : (w + 1) * warp]
-            ms, ml = merge_segments(s, l)
-            total_tx += self.machine.pcie.transactions_for(ms, ml)
-            media += self.machine.io_write_arrival(region, ms, ml)
+        times = None
+        if item_bytes > 0:
+            # Batched delivery: merge every warp's segments in one numpy
+            # pass and hand the machine all the per-warp arrivals at once.
+            # Event order, per-epoch persistence frontiers, and every count
+            # match the per-warp loop below; the loop remains only for the
+            # routes that cannot batch (DDIO-on installs, adaptive routing).
+            group_ids = np.arange(n, dtype=np.int64) // warp
+            stride = int(offsets.max()) + item_bytes + 1
+            run_s, run_l, run_g = merge_segments_grouped(
+                offsets, lengths, group_ids, stride)
+            times = self.machine.io_write_arrival_groups(
+                region, run_s, run_l, run_g, n_warps)
+        if times is not None:
+            media = float(times.sum())
+            total_tx = self.machine.pcie.transactions_for(run_s, run_l)
+        else:
+            for w in range(n_warps):
+                s = offsets[w * warp : (w + 1) * warp]
+                l = lengths[w * warp : (w + 1) * warp]
+                ms, ml = merge_segments(s, l)
+                total_tx += self.machine.pcie.transactions_for(ms, ml)
+                media += self.machine.io_write_arrival(region, ms, ml)
         nbytes = n * item_bytes
         self.machine.events.emit(SystemFence(count=fence_rounds * n))
         warps_issuing = min(n_warps, cfg.gpu_max_resident_warps)

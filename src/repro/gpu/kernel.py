@@ -90,6 +90,12 @@ class _WarpDrainBuffer:
     ints (:meth:`add` / :meth:`add_many`); the warp lane appends whole
     numpy batches (:meth:`add_arrays`) - a round's lists hold one kind or
     the other, never a mix, and ``_deliver`` normalises either.
+
+    Rounds key their per-region buckets by the monotonic ``Region.token``,
+    never ``id(region)``: CPython recycles the id of a freed region for the
+    next same-type allocation, so a free+realloc between stores of one
+    kernel would silently merge two distinct regions' segments (the same
+    aliasing class fixed for Optane stream identity and LLC dirty lines).
     """
 
     rounds: dict[int, dict[int, tuple[Region, list[int], list[int]]]] = field(
@@ -98,7 +104,7 @@ class _WarpDrainBuffer:
 
     def add(self, round_no: int, region: Region, start: int, length: int) -> None:
         per_region = self.rounds.setdefault(round_no, {})
-        key = id(region)
+        key = region.token
         if key not in per_region:
             per_region[key] = (region, [], [])
         _, starts, lengths = per_region[key]
@@ -110,7 +116,7 @@ class _WarpDrainBuffer:
         per_region = self.rounds.setdefault(round_no, {})
         get = per_region.get
         for region, start, length in pending:
-            key = id(region)
+            key = region.token
             entry = get(key)
             if entry is None:
                 per_region[key] = entry = (region, [], [])
@@ -122,7 +128,7 @@ class _WarpDrainBuffer:
                    lengths: np.ndarray) -> None:
         """Append one vectorized store batch (the warp lane's unit)."""
         per_region = self.rounds.setdefault(round_no, {})
-        key = id(region)
+        key = region.token
         entry = per_region.get(key)
         if entry is None:
             per_region[key] = entry = (region, [], [])

@@ -94,6 +94,42 @@ class DeviceArray:
         wctx.store(self.region, self._byte_offsets(indices), values,
                    self.dtype, lanes=lanes)
 
+    def _byte_offsets_ragged(self, indices, counts) -> tuple[np.ndarray, np.ndarray]:
+        indices = np.asarray(indices, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if indices.size and (int(indices.min()) < 0
+                             or int((indices + counts).max()) > self.count):
+            raise IndexError(f"warp segments out of range [0, {self.count})")
+        return self.offset + indices * self.dtype.itemsize, counts
+
+    def read_gather_warp(self, wctx, indices, counts, lanes=None) -> np.ndarray:
+        """Ragged per-lane loads: lane ``j`` reads ``counts[j]`` elements
+        starting at ``indices[j]``; returns their flat concatenation."""
+        offsets, counts = self._byte_offsets_ragged(indices, counts)
+        return wctx.load_gather(self.region, offsets, counts, self.dtype,
+                                lanes=lanes)
+
+    def write_scatter_warp(self, wctx, indices, values, counts,
+                           lanes=None) -> None:
+        """Ragged per-lane stores: lane ``j`` writes ``counts[j]`` elements
+        starting at ``indices[j]``; ``values`` is the flat concatenation."""
+        offsets, counts = self._byte_offsets_ragged(indices, counts)
+        wctx.store_scatter(self.region, offsets, values, counts, self.dtype,
+                           lanes=lanes)
+
+    def write_vec_warp(self, wctx, indices, values, lanes=None) -> None:
+        """Per-lane stores of one fixed-width vector each: ``values`` is
+        ``(k, n)``; lane ``j`` writes row ``j`` at ``indices[j]``."""
+        values = np.asarray(values, dtype=self.dtype)
+        n = values.shape[-1] if values.ndim > 1 else 1
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (int(indices.min()) < 0
+                             or int(indices.max()) + n > self.count):
+            raise IndexError("warp vector store overruns array")
+        wctx.store(self.region,
+                   self.offset + indices * self.dtype.itemsize,
+                   values, self.dtype, lanes=lanes)
+
     def atomic_add(self, ctx: ThreadContext, index: int, value):
         return ctx.atomic_add(self.region, self.byte_offset(index), value, self.dtype)
 

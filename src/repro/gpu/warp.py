@@ -87,8 +87,24 @@ def scalar_lane():
 def _span(nbytes: int) -> np.ndarray:
     arange = _SPANS.get(nbytes)
     if arange is None:
-        arange = _SPANS[nbytes] = np.arange(nbytes, dtype=np.int64)
+        arange = np.arange(nbytes, dtype=np.int64)
+        arange.setflags(write=False)  # shared across every caller
+        _SPANS[nbytes] = arange
     return arange
+
+
+#: Cached constant per-lane length vectors (read-only: they are shared
+#: across every pending-store batch with the same shape).
+_CONST_LENGTHS: dict[tuple[int, int], np.ndarray] = {}
+
+
+def _const_lengths(k: int, nbytes: int) -> np.ndarray:
+    arr = _CONST_LENGTHS.get((k, nbytes))
+    if arr is None:
+        arr = np.full(k, nbytes, dtype=np.int64)
+        arr.setflags(write=False)
+        _CONST_LENGTHS[(k, nbytes)] = arr
+    return arr
 
 
 class WarpContext:
@@ -105,7 +121,7 @@ class WarpContext:
     __slots__ = (
         "shared", "block_flat", "warp_global", "warp_in_block", "n",
         "lanes", "thread_flats", "global_ids", "_block_dim", "_grid_dim",
-        "_engine", "_rounds", "_pending",
+        "_engine", "_rounds", "_round0", "_pending",
     )
 
     def __init__(self, grid: Dim3, block: Dim3, block_flat: int, w0: int,
@@ -116,14 +132,18 @@ class WarpContext:
         self.warp_in_block = w0 // warp_size
         self.warp_global = block_flat * warps_per_block + self.warp_in_block
         self.n = count
-        self.lanes = np.arange(count, dtype=np.int64)
+        self.lanes = _span(count)  # shared read-only arange
         self.thread_flats = w0 + self.lanes
         self.global_ids = block_flat * block.count + self.thread_flats
         self._block_dim = block.count
         self._grid_dim = grid.count
         self._engine = engine
         #: Per-lane fence-round counters (the scalar lane's ``ctx._round``).
-        self._rounds = np.zeros(count, dtype=np.int64)
+        #: Kept as one scalar (``_round0``) while every lane agrees - the
+        #: convergent common case - and materialised per-lane only once a
+        #: divergent fence splits the warp.
+        self._rounds = None
+        self._round0 = 0
         #: Vector store batches awaiting a fence:
         #: (region, starts, lengths, lane indices), one entry per store op.
         self._pending: list[tuple[Region, np.ndarray, np.ndarray, np.ndarray]] = []
@@ -230,13 +250,111 @@ class WarpContext:
         numpy views and meters here, keeping counters identical)."""
         self._meter_loads(region, k, nbytes_each)
 
+    def _ragged_indices(self, offsets: np.ndarray,
+                        nbytes: np.ndarray) -> np.ndarray:
+        """Flat byte indices for ragged per-lane segments, lane-major.
+
+        Segment ``j`` contributes ``offsets[j] .. offsets[j]+nbytes[j]-1``;
+        concatenation order is lane order, which is thread order - so both
+        gathers and scatter conflict resolution see the scalar sequence.
+        """
+        total = int(nbytes.sum())
+        ends = np.cumsum(nbytes)
+        base = np.repeat(offsets, nbytes)
+        within = np.arange(total, dtype=np.int64) - np.repeat(ends - nbytes, nbytes)
+        return base + within
+
+    def load_gather(self, region: Region, offsets, counts, dtype=np.uint8,
+                    lanes=None):
+        """Ragged per-lane loads: lane ``j`` loads ``counts[j]`` elements.
+
+        The irregular-kernel gather primitive (BFS neighbour walks, hash
+        probes): each participating lane reads a *different-sized* run of
+        consecutive elements.  Returns one flat array - the lane-major
+        concatenation of all runs, exactly the order scalar threads would
+        produce.  Accounting matches ``k`` scalar vector loads; callers
+        pass only lanes that actually load (``counts`` all positive), as
+        the scalar body skips the load entirely for empty runs.
+        """
+        del lanes  # participation is implied by offsets; kept for symmetry
+        offsets = np.asarray(offsets, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        k = offsets.size
+        dtype = np.dtype(dtype)
+        nbytes = counts * dtype.itemsize
+        if k == 0:
+            return np.empty(0, dtype=dtype)
+        lo = int(offsets.min())
+        hi = int((offsets + nbytes).max())
+        if lo < 0 or hi > region.size:
+            raise IndexError(
+                f"warp gather [{lo}, {hi}) outside region {region.name!r} "
+                f"of size {region.size}"
+            )
+        idx = self._ragged_indices(offsets, nbytes)
+        data = region.visible[idx].view(dtype)
+        acct = self._engine.acct
+        acct.ops += k
+        total = int(nbytes.sum())
+        if region.kind is MemKind.HBM:
+            acct.hbm_read_bytes += total
+        else:
+            acct.host_read_bytes += total
+        return data
+
+    def store_scatter(self, region: Region, offsets, values, counts,
+                      dtype=np.uint8, lanes=None) -> None:
+        """Ragged per-lane stores: lane ``j`` stores ``counts[j]`` elements.
+
+        The scatter twin of :meth:`load_gather`: ``values`` is the flat
+        lane-major concatenation of every lane's run.  Visible immediately;
+        host stores join ``_pending`` with one segment per lane, so each
+        lane's fence round drains exactly its own bytes through the shared
+        coalescing path.  Overlapping runs resolve highest-lane-wins,
+        matching scalar thread order.
+        """
+        sel = self._sel(lanes)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        k = offsets.size
+        if k == 0:
+            return
+        dtype = np.dtype(dtype)
+        nbytes = counts * dtype.itemsize
+        lo = int(offsets.min())
+        hi = int((offsets + nbytes).max())
+        if lo < 0 or hi > region.size:
+            raise IndexError(
+                f"warp scatter [{lo}, {hi}) outside region {region.name!r} "
+                f"of size {region.size}"
+            )
+        arr = np.ascontiguousarray(np.asarray(values, dtype=dtype))
+        raw = arr.reshape(-1).view(np.uint8)
+        if raw.size != int(nbytes.sum()):
+            raise ValueError(
+                f"scatter values supply {raw.size} bytes for segments "
+                f"totalling {int(nbytes.sum())}"
+            )
+        idx = self._ragged_indices(offsets, nbytes)
+        region.visible[idx] = raw
+        acct = self._engine.acct
+        acct.ops += k
+        if region.kind is MemKind.HBM:
+            acct.hbm_write_bytes += raw.size
+        else:
+            self._pending.append((region, offsets, nbytes, sel))
+
     def store(self, region: Region, offsets, values, dtype=np.uint8,
-              lanes=None) -> None:
+              lanes=None, coalesced: bool = False) -> None:
         """Per-lane typed stores; visible immediately, persistence on fence.
 
         ``values`` is ``(k,)`` (one element per lane), ``(k, m)`` (a vector
         per lane) or a scalar to broadcast.  Overlapping per-lane offsets
         resolve highest-lane-wins, matching scalar thread order.
+
+        ``coalesced=True`` asserts the offsets form one ascending densely
+        packed run (lane ``j`` at ``offsets[0] + j * itemsize``), skipping
+        the per-element detection scan; the end points are still checked.
         """
         sel = self._sel(lanes)
         offsets = np.asarray(offsets, dtype=np.int64)
@@ -247,9 +365,24 @@ class WarpContext:
             arr = np.broadcast_to(arr, (k,))
         raw = np.ascontiguousarray(arr).view(np.uint8).reshape(k, -1)
         nbytes = raw.shape[1]
-        self._bounds(region, offsets, nbytes)
-        idx = (offsets[:, None] + _span(nbytes)).reshape(-1)
-        region.visible[idx] = raw.reshape(-1)
+        lo = int(offsets[0]) if k else 0
+        packed = k > 1 and int(offsets[-1]) - lo == (k - 1) * nbytes
+        if coalesced and not packed:
+            raise ValueError("store(coalesced=True) offsets are not one "
+                             "densely packed ascending run")
+        if packed and (coalesced or
+                       (offsets[1:] - offsets[:-1] == nbytes).all()):
+            # Coalesced warp store (ascending, densely packed): one slice
+            # assignment instead of a fancy-indexed scatter, and O(1)
+            # bounds from the end points.
+            hi = lo + k * nbytes
+            if lo < 0 or hi > region.size:
+                self._bounds(region, offsets, nbytes)
+            region.visible[lo:hi] = raw.reshape(-1)
+        else:
+            self._bounds(region, offsets, nbytes)
+            idx = (offsets[:, None] + _span(nbytes)).reshape(-1)
+            region.visible[idx] = raw.reshape(-1)
         self.record_store(region, offsets, nbytes, sel)
 
     def record_store(self, region: Region, offsets: np.ndarray,
@@ -265,7 +398,7 @@ class WarpContext:
             self._pending.append((
                 region,
                 np.asarray(offsets, dtype=np.int64),
-                np.full(k, nbytes_each, dtype=np.int64),
+                _const_lengths(k, nbytes_each),
                 lanes,
             ))
 
@@ -356,13 +489,53 @@ class WarpContext:
         if eng.policy == "epoch":
             self._persist_epoch(sel)
             return
+        full = k == self.n
+        if full and self._rounds is None:
+            # Whole-warp fence with lane-uniform rounds (the overwhelmingly
+            # common convergent case): pure scalar bookkeeping - every
+            # pending store drains under the one shared round.
+            self._round0 += 1
+            top = self._round0
+            warp = self.warp_global
+            if top > eng._warp_rounds.get(warp, 0):
+                eng._warp_rounds[warp] = top
+            if not self._pending:
+                return
+            buf = eng._buffers.setdefault(warp, _WarpDrainBuffer())
+            for region, starts, lengths, _lsel in self._pending:
+                buf.add_arrays(top, region, starts, lengths)
+            self._pending = []
+            eng._warps_with_writes.add(warp)
+            return
+        if self._rounds is None:
+            self._rounds = np.full(self.n, self._round0, dtype=np.int64)
         rounds = self._rounds
-        rounds[sel] += 1
+        if full:
+            rounds += 1
+            top = int(rounds.max())
+        else:
+            rounds[sel] += 1
+            top = int(rounds[sel].max())
         warp = self.warp_global
-        top = int(rounds[sel].max())
         if top > eng._warp_rounds.get(warp, 0):
             eng._warp_rounds[warp] = top
         if not self._pending:
+            return
+        if full:
+            # Whole-warp fence: every pending store drains, no lane
+            # masking needed (rounds may differ after earlier divergence).
+            buf = eng._buffers.setdefault(warp, _WarpDrainBuffer())
+            for region, starts, lengths, lsel in self._pending:
+                d_rounds = rounds[lsel]
+                r0 = int(d_rounds[0])
+                if d_rounds.size == 1 or (d_rounds == r0).all():
+                    buf.add_arrays(r0, region, starts, lengths)
+                else:
+                    for r in np.unique(d_rounds).tolist():
+                        sub = d_rounds == r
+                        buf.add_arrays(int(r), region, starts[sub], lengths[sub])
+            self._pending = []
+            eng._warps_with_writes.add(warp)
             return
         fencing = np.zeros(self.n, dtype=bool)
         fencing[sel] = True
@@ -378,11 +551,11 @@ class WarpContext:
             d_rounds = rounds[lsel[drain]]
             d_starts = starts[drain]
             d_lengths = lengths[drain]
-            uniq = np.unique(d_rounds)
-            if uniq.size == 1:
-                buf.add_arrays(int(uniq[0]), region, d_starts, d_lengths)
+            r0 = int(d_rounds[0])
+            if d_rounds.size == 1 or (d_rounds == r0).all():
+                buf.add_arrays(r0, region, d_starts, d_lengths)
             else:
-                for r in uniq.tolist():
+                for r in np.unique(d_rounds).tolist():
                     sub = d_rounds == r
                     buf.add_arrays(int(r), region, d_starts[sub], d_lengths[sub])
             if not drain.all():

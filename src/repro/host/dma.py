@@ -36,8 +36,9 @@ class DmaEngine:
             raise ValueError("device_to_host source must be HBM")
         if dst.kind is MemKind.HBM:
             raise ValueError("device_to_host destination must be host memory")
-        data = src.read_bytes(src_off, nbytes).copy()
-        dst.write_bytes(dst_off, data)
+        # src and dst are distinct memories (HBM vs host), so write_bytes'
+        # own copy into dst suffices - no staging copy needed.
+        dst.write_bytes(dst_off, src.read_bytes(src_off, nbytes))
         elapsed = self.machine.pcie.dma_time(nbytes, to_gpu=False)
         if dst.kind is MemKind.PM:
             # I/O writes to PM land in the LLC via DDIO: visible, volatile.
@@ -56,8 +57,7 @@ class DmaEngine:
             raise ValueError("host_to_device destination must be HBM")
         if src.kind is MemKind.HBM:
             raise ValueError("host_to_device source must be host memory")
-        data = src.read_bytes(src_off, nbytes).copy()
-        dst.write_bytes(dst_off, data)
+        dst.write_bytes(dst_off, src.read_bytes(src_off, nbytes))
         elapsed = self.machine.pcie.dma_time(nbytes, to_gpu=True)
         self.machine.events.emit(HbmWrite(nbytes=nbytes))
         if src.kind is MemKind.PM:

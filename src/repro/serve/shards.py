@@ -37,13 +37,35 @@ SERVE_MAGIC = 0x53525631  # "SRV1"
 _META_BYTES = 64
 
 
+def _check_shard_geometry(n_sets: int, n_shards: int) -> None:
+    """Reject shard geometries that cannot partition the set space.
+
+    ``n_shards > n_sets`` would leave ownerless shards with silently empty
+    ranges - a misconfiguration, not a layout - and non-positive counts
+    break the range arithmetic outright.
+    """
+    if n_sets < 1:
+        raise GpmError(f"need at least one table set, got n_sets={n_sets}")
+    if n_shards < 1:
+        raise GpmError(f"need at least one log shard, got n_shards={n_shards}")
+    if n_shards > n_sets:
+        raise GpmError(
+            f"n_shards={n_shards} exceeds n_sets={n_sets}: "
+            "every shard must own at least one set"
+        )
+
+
 def shard_of_sets(set_idxs: np.ndarray, n_sets: int, n_shards: int) -> np.ndarray:
     """Map table set indices to shard ids (contiguous, near-equal ranges)."""
+    _check_shard_geometry(n_sets, n_shards)
     return (np.asarray(set_idxs, dtype=np.int64) * n_shards) // n_sets
 
 
 def shard_set_range(shard: int, n_sets: int, n_shards: int) -> tuple[int, int]:
     """The half-open ``[first_set, last_set)`` range shard ``shard`` owns."""
+    _check_shard_geometry(n_sets, n_shards)
+    if not 0 <= shard < n_shards:
+        raise GpmError(f"shard {shard} out of range for n_shards={n_shards}")
     first = (shard * n_sets + n_shards - 1) // n_shards
     last = ((shard + 1) * n_sets + n_shards - 1) // n_shards
     return first, last
@@ -60,8 +82,7 @@ class ShardedHclLog:
 
     def __init__(self, system, base: str, n_shards: int, n_sets: int,
                  logs: list[HclLog], flags: list[TransactionFlag]) -> None:
-        if n_shards < 1:
-            raise GpmError("need at least one log shard")
+        _check_shard_geometry(n_sets, n_shards)
         self.system = system
         self.base = base
         self.n_shards = n_shards

@@ -158,6 +158,43 @@ class Machine:
         self.events.emit(GpuPmWrite(nbytes=total))
         return time
 
+    def io_write_arrival_groups(self, region: Region, run_starts, run_lengths,
+                                run_groups, n_groups: int, before_group=None):
+        """Batched :meth:`io_write_arrival`: one arrival per group, vectorized.
+
+        ``run_starts``/``run_lengths``/``run_groups`` are pre-merged segment
+        runs (see :func:`~repro.sim.optane.merge_segments_grouped`) for
+        ``n_groups`` consecutive arrivals - typically one group per warp of
+        a bulk scatter.  Emits the same per-group events in the same order
+        as ``n_groups`` sequential calls and returns the per-group media
+        seconds; returns ``None`` when the active route cannot batch
+        (adaptive persistency routing, DDIO-on LLC installs) and the caller
+        must fall back to per-group :meth:`io_write_arrival` calls.
+        ``before_group(group)``, when given, fires before each group's
+        events (never on the ``None`` fallback), letting the caller keep
+        its own per-arrival events interleaved as the unbatched path would.
+        """
+        if region.kind is MemKind.HBM:
+            raise ValueError("HBM is not host memory; io writes target DRAM or PM")
+        if region.kind is MemKind.DRAM:
+            totals = np.bincount(run_groups, weights=run_lengths,
+                                 minlength=n_groups).astype(np.int64)
+            for g, total in enumerate(totals.tolist()):
+                if before_group is not None:
+                    before_group(g)
+                self.events.emit(DramWrite(nbytes=int(total), source="gpu"))
+            return np.zeros(n_groups)
+        if self.persistency.adaptive or self.ddio_enabled:
+            return None
+
+        def _pm_write(_group: int, logical_bytes: int) -> None:
+            self.events.emit(GpuPmWrite(nbytes=logical_bytes))
+
+        return self.optane.write_epochs(region, run_starts, run_lengths,
+                                        run_groups, n_groups,
+                                        after_group=_pm_write,
+                                        before_group=before_group)
+
     def cpu_store_arrival(self, region: Region, offset: int, size: int) -> None:
         """CPU stores to host memory dirty LLC lines (for PM regions)."""
         if region.kind is MemKind.PM:

@@ -58,6 +58,44 @@ def merge_segments(starts: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray,
     return run_starts, run_ends - run_starts
 
 
+def merge_segments_grouped(
+    starts: np.ndarray, lengths: np.ndarray, group_ids: np.ndarray, stride: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge segments independently within each group, in one numpy pass.
+
+    Equivalent to calling :func:`merge_segments` on each group's slice, but
+    without the per-group Python round trips: shifting every address by
+    ``group * stride`` keeps the single global sort/accumulate from ever
+    merging runs across group boundaries.  ``stride`` must exceed every
+    segment end offset.  Returns ``(run_starts, run_lengths, run_groups)``
+    ordered group-major, then by address within each group.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    group_ids = np.asarray(group_ids, dtype=np.int64)
+    if starts.size == 0:
+        return starts, lengths, group_ids
+    shifted = starts + group_ids * stride
+    order = np.argsort(shifted, kind="stable")
+    shifted = shifted[order]
+    ends = shifted + lengths[order]
+    groups = group_ids[order]
+    run_end = np.maximum.accumulate(ends)
+    new_run = np.ones(shifted.size, dtype=bool)
+    new_run[1:] = shifted[1:] > run_end[:-1]
+    run_first = np.flatnonzero(new_run)
+    # Runs are disjoint and address-sorted, so the running maximum at each
+    # run's last member is that run's own end (earlier runs end below this
+    # run's start; later groups live beyond the stride).
+    run_last = np.empty(run_first.size, dtype=np.int64)
+    run_last[:-1] = run_first[1:] - 1
+    run_last[-1] = shifted.size - 1
+    run_groups = groups[run_first]
+    run_starts = shifted[run_first] - run_groups * stride
+    run_lengths = run_end[run_last] - shifted[run_first]
+    return run_starts, run_lengths, run_groups
+
+
 class OptaneModel:
     """Pattern-aware write/read timing for one Optane persistence domain."""
 
@@ -129,6 +167,82 @@ class OptaneModel:
             random_starts=random_starts, media_time=time,
         ))
         return time
+
+    def write_epochs(self, region: Region, run_starts: np.ndarray,
+                     run_lengths: np.ndarray, run_groups: np.ndarray,
+                     n_groups: int, after_group=None,
+                     before_group=None) -> np.ndarray:
+        """Drain ``n_groups`` consecutive epochs in one vectorized pass.
+
+        Semantically identical to calling :meth:`write_epoch` once per group
+        in ascending group order - same per-epoch :class:`OptaneEpoch`
+        events, same cross-epoch sequentiality chaining, same functional
+        persistence applied group by group (so a crash observer armed on
+        the event stream sees exactly the per-epoch persistence frontier) -
+        but the XPLine arithmetic for all groups runs as one numpy pass.
+
+        The inputs are *pre-merged* runs, e.g. from
+        :func:`merge_segments_grouped`: within each group they must be
+        disjoint, address-sorted, and non-empty, with positive lengths, and
+        ``run_groups`` must cover every group in ``[0, n_groups)``.
+        ``after_group(group, logical_bytes)``, when given, is invoked right
+        after each group's event - the hook the machine uses to keep its
+        per-arrival events interleaved exactly as the unbatched path.
+        ``before_group(group)`` is the symmetric hook invoked before each
+        group persists, so a caller can emit its own per-group event ahead
+        of the epoch's (the launch engine's deferred warp drains).
+        Returns the per-group media seconds.
+        """
+        run_starts = np.asarray(run_starts, dtype=np.int64)
+        run_lengths = np.asarray(run_lengths, dtype=np.int64)
+        run_groups = np.asarray(run_groups, dtype=np.int64)
+        first_lines = run_starts // self._line
+        last_lines = (run_starts + run_lengths - 1) // self._line
+        touches = last_lines - first_lines + 1
+        # One global chain: group g's first run compares against group
+        # g-1's last written line - exactly the stream state sequential
+        # write_epoch calls would carry over (all groups share ``region``).
+        prev_last = np.empty(run_starts.size, dtype=np.int64)
+        same_stream = self._last_region == region.token and self._last_line is not None
+        prev_last[0] = self._last_line if same_stream else -(10**9)
+        prev_last[1:] = last_lines[:-1]
+        seq_start = (first_lines == prev_last) | (first_lines == prev_last + 1)
+        random_runs = (~seq_start).astype(np.int64)
+        touches_g = np.bincount(run_groups, weights=touches,
+                                minlength=n_groups).astype(np.int64)
+        random_g = np.bincount(run_groups, weights=random_runs,
+                               minlength=n_groups).astype(np.int64)
+        logical_g = np.bincount(run_groups, weights=run_lengths,
+                                minlength=n_groups).astype(np.int64)
+        times = (
+            touches_g + random_g * (self._config.pm_random_penalty - 1.0)
+        ) * self._line_time
+        bounds = np.searchsorted(run_groups, np.arange(n_groups + 1)).tolist()
+        line = self._line
+        name = region.name
+        emit = self._events.emit
+        # Python-scalar copies of the per-group columns: plain list indexing
+        # in the loop below beats boxing numpy scalars thousands of times.
+        last_l = last_lines.tolist()
+        logical_l = logical_g.tolist()
+        touches_l = touches_g.tolist()
+        random_l = random_g.tolist()
+        times_l = times.tolist()
+        for g in range(n_groups):
+            if before_group is not None:
+                before_group(g)
+            lo, hi = bounds[g], bounds[g + 1]
+            region.persist_ranges(run_starts[lo:hi], run_lengths[lo:hi])
+            self._last_line = last_l[hi - 1]
+            self._last_region = region.token
+            emit(OptaneEpoch(
+                region=name, logical_bytes=logical_l[g],
+                media_bytes=touches_l[g] * line, segments=hi - lo,
+                random_starts=random_l[g], media_time=times_l[g],
+            ))
+            if after_group is not None:
+                after_group(g, logical_l[g])
+        return times
 
     def write_flush_grain(self, region: Region, offset: int, size: int,
                           grain: int = 64, random: bool = False) -> float:

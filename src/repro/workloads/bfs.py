@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..gpu.memory import DeviceArray
+from ..gpu.warp import vectorized_for
 from .base import Category, Mode, ModeDriver, RunResult, make_system, measure
 
 INF = np.uint32(0xFFFFFFFF)
@@ -114,6 +115,61 @@ def bfs_kernel(ctx, row_ptr, col_idx, frontier, n_frontier, cost, seq, counter,
             seq.write(ctx, slot, np.uint32(nb))
     if persist_on:
         ctx.persist()
+
+
+@vectorized_for(bfs_kernel)
+def bfs_kernel_warp(wctx, row_ptr, col_idx, frontier, n_frontier, cost, seq,
+                    counter, level, persist_on):
+    """Warp-vectorized frontier expansion via the gather/scatter primitives.
+
+    The neighbour walk is the irregular part: each lane gathers a
+    different-sized adjacency run, and a neighbour is *claimed* by the
+    first lane (in lane-major flat order) that observes it unvisited -
+    exactly the order the scalar threads resolve their sequential
+    read-modify-write races in.
+    """
+    g = wctx.global_ids
+    sel = wctx.active(g < n_frontier)
+    if sel.size == 0:
+        return
+    nodes = frontier.read_warp(wctx, g[sel], lanes=sel).astype(np.int64)
+    begins = row_ptr.read_warp(wctx, nodes, lanes=sel).astype(np.int64)
+    ends = row_ptr.read_warp(wctx, nodes + 1, lanes=sel).astype(np.int64)
+    counts = ends - begins
+    has = counts > 0
+    nbrs = col_idx.read_gather_warp(wctx, begins[has], counts[has],
+                                    lanes=sel[has]).astype(np.int64)
+    total = nbrs.size
+    if total == 0:
+        if persist_on:
+            wctx.persist(sel)
+        return
+    wctx.charge_ops(2 * total)
+    # Every neighbour costs one cost-array load (same accounting whether it
+    # turns out visited or not); the values come from the live view since
+    # claim resolution below encodes the scalar lane's program order.
+    wctx.meter_loads(cost.region, total, cost.dtype.itemsize)
+    cand = cost.np[nbrs] == INF
+    cand_flat = np.flatnonzero(cand)
+    _uniq, first = np.unique(nbrs[cand_flat], return_index=True)
+    claim_flat = cand_flat[np.sort(first)]
+    kc = claim_flat.size
+    if kc:
+        lane_of = np.repeat(sel[has], counts[has])
+        claim_lanes = lane_of[claim_flat]
+        claim_nb = nbrs[claim_flat]
+        cost.write_warp(wctx, claim_nb,
+                        np.full(kc, np.uint32(level + 1), dtype=np.uint32),
+                        lanes=claim_lanes)
+        slots = wctx.atomic_add(
+            counter.region,
+            np.full(kc, counter.offset, dtype=np.int64), 1, np.int64,
+            lanes=claim_lanes,
+        )
+        seq.write_warp(wctx, slots, claim_nb.astype(np.uint32),
+                       lanes=claim_lanes)
+    if persist_on:
+        wctx.persist(sel)
 
 
 @dataclass
@@ -275,15 +331,20 @@ class GraphBfs:
         system = driver.system
         starts = row_ptr_np[frontier_np]
         ends = row_ptr_np[frontier_np + 1]
-        total = int((ends - starts).sum())
+        counts = ends - starts
+        total = int(counts.sum())
         if total:
-            gather = np.concatenate([
-                col_idx_np[s:e] for s, e in zip(starts.tolist(), ends.tolist())
-            ])
+            # Vectorized ragged CSR gather (flat indices, segment-major).
+            idx = (np.repeat(starts, counts)
+                   + np.arange(total, dtype=np.int64)
+                   - np.repeat(np.cumsum(counts) - counts, counts))
+            gather = col_idx_np[idx]
         else:
             gather = np.array([], dtype=np.int32)
-        nbrs = np.unique(gather)
-        new = nbrs[cost_view[nbrs] == INF].astype(np.uint32)
+        # Filter before dedup: most neighbours are already visited by
+        # mid-search, so unique() runs over the short unvisited tail.
+        cand = gather[cost_view[gather] == INF]
+        new = np.unique(cand).astype(np.uint32)
         # One relaxation kernel per level writes both the new costs
         # (scattered) and the visit sequence (contiguous, coalesced).
         cost_view[new] = level
@@ -313,12 +374,13 @@ class GraphBfs:
         seq = buf.array(np.uint32, self._seq_off(), self.n_nodes)
         grid = (n_f + cfg.block_dim - 1) // cfg.block_dim
         # (already inside the traversal-wide persistence window)
-        system.gpu.launch(
+        res = system.gpu.launch(
             bfs_kernel, grid, cfg.block_dim,
             (row_ptr, col_idx, frontier, n_f, cost, seq, counter, level - 1,
              driver.mode.data_on_pm),
             crash_injector=injector,
         )
+        self._last_lane = res.lane
         new_count = int(counter.np[0]) - visited
         new = buf.visible_view(np.uint32, self._seq_off() + 4 * visited, new_count).copy()
         system.machine.free(hbm)

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.errors import LogEmpty
+from ..core.hcl import HclLog, entry_chunks
 from ..core.logging import (
     gpmlog_clear,
     gpmlog_create_conv,
@@ -41,6 +42,7 @@ from ..core.logging import (
 )
 from ..core.transactions import TransactionFlag
 from ..gpu.memory import DeviceArray
+from ..gpu.warp import scalar_lane, vectorized_for
 from .base import Category, Mode, ModeDriver, RunResult, make_system, measure
 from .kvs import hash64
 
@@ -122,6 +124,108 @@ def update_recovery_kernel(ctx, table, log, n_ops):
     table.write_vec(ctx, row * ROW_COLUMNS, vals[1:])
     ctx.persist()
     gpmlog_remove(ctx, log, (ROW_COLUMNS + 1) * 8)
+
+
+# ---------------------------------------------------------------------------
+# warp implementations (the scalar bodies above stay the parity reference)
+# ---------------------------------------------------------------------------
+
+
+@vectorized_for(insert_kernel)
+def insert_kernel_warp(wctx, table, base_count, batch_rows, n_ops, meta_log,
+                       persist_on):
+    g = wctx.global_ids
+    sel = wctx.active(g < n_ops)
+    if sel.size == 0:
+        return
+    gs = g[sel]
+    if meta_log is not None and int(gs[0]) == 0:
+        meta_log.insert_warp(wctx,
+                             entry_chunks(np.uint64(base_count)).reshape(1, -1),
+                             partition=0, lanes=sel[:1])
+    rows = batch_rows.read_vec_warp(wctx, gs * ROW_COLUMNS, ROW_COLUMNS,
+                                    lanes=sel)
+    table.write_vec_warp(wctx, (base_count + gs) * ROW_COLUMNS, rows, lanes=sel)
+    if persist_on:
+        wctx.persist(sel)
+
+
+def _update_warp_lanes(wctx, table, batch_seed, log, touched, persist_on,
+                       sel, rows, ids):
+    """The vector body of one warp's updates over a collision-free lane set."""
+    old = table.read_vec_warp(wctx, rows * ROW_COLUMNS, ROW_COLUMNS, lanes=sel)
+    if log is not None:
+        entries = np.empty((sel.size, ROW_COLUMNS + 1), dtype=np.uint64)
+        entries[:, 0] = rows.astype(np.uint64)
+        entries[:, 1:] = old.reshape(sel.size, ROW_COLUMNS)
+        log.insert_warp(wctx, entries.view(np.uint32), lanes=sel)
+    new_vals = np.array([hash64(batch_seed + i) or 1 for i in ids],
+                        dtype=np.uint64)
+    table.write_warp(wctx, rows * ROW_COLUMNS + 2, new_vals, lanes=sel)
+    table.write_warp(wctx, rows * ROW_COLUMNS + 5,
+                     new_vals ^ np.uint64(0xFF), lanes=sel)
+    if persist_on:
+        wctx.persist(sel)
+    touched.extend(int(r) for r in rows)
+
+
+@vectorized_for(update_kernel)
+def update_kernel_warp(wctx, table, row_count, batch_seed, n_ops, log, touched,
+                       persist_on):
+    g = wctx.global_ids
+    sel = wctx.active(g < n_ops)
+    k = sel.size
+    if k == 0:
+        return
+    wctx.charge_ops(8 * k)
+    # Python-int arithmetic, exactly as the scalar body computes it.
+    h = hash64(batch_seed)
+    ids = [int(i) for i in g[sel]]
+    rows = np.array([(h + i * 2654435761) % row_count for i in ids],
+                    dtype=np.int64)
+    if np.unique(rows).size != k:
+        # Intra-warp row collision (impossible for power-of-two row counts,
+        # see the scalar body): a batched old-row read would miss the
+        # earlier lane's write, so fall back to lane-at-a-time, which is
+        # scalar thread order.
+        for j in range(k):
+            _update_warp_lanes(wctx, table, batch_seed, log, touched,
+                               persist_on, sel[j:j + 1], rows[j:j + 1],
+                               ids[j:j + 1])
+        return
+    _update_warp_lanes(wctx, table, batch_seed, log, touched, persist_on,
+                       sel, rows, ids)
+
+
+@vectorized_for(select_kernel)
+def select_kernel_warp(wctx, table, lo, hi, flags, n_rows):
+    g = wctx.global_ids
+    sel = wctx.active(g < n_rows)
+    if sel.size == 0:
+        return
+    wctx.charge_ops(4 * sel.size)
+    values = table.read_warp(wctx, g[sel] * ROW_COLUMNS + 1, lanes=sel)
+    match = np.array([1 if lo <= int(v) < hi else 0 for v in values],
+                     dtype=np.uint8)
+    flags.write_warp(wctx, g[sel], match, lanes=sel)
+
+
+@vectorized_for(update_recovery_kernel)
+def update_recovery_kernel_warp(wctx, table, log, n_ops):
+    g = wctx.global_ids
+    sel = wctx.active(g < n_ops)
+    if sel.size == 0:
+        return
+    entry_bytes = (ROW_COLUMNS + 1) * 8
+    entries, live = log.read_warp(wctx, entry_bytes, lanes=sel)
+    if live.size == 0:
+        return
+    vals = entries.view(np.uint64).reshape(live.size, ROW_COLUMNS + 1)
+    rows = vals[:, 0].astype(np.int64)
+    table.write_vec_warp(wctx, rows * ROW_COLUMNS,
+                         np.ascontiguousarray(vals[:, 1:]), lanes=live)
+    wctx.persist(live)
+    log.remove_warp(wctx, entry_bytes, lanes=live)
 
 
 # ---------------------------------------------------------------------------
@@ -233,12 +337,13 @@ class GpDb:
                 flag.begin()
             driver.persist_phase_begin()
             try:
-                system.gpu.launch(
+                res = system.gpu.launch(
                     insert_kernel, self._grid(n_ops), cfg.block_dim,
                     (table, base_count, rows, n_ops, meta_log,
                      driver.mode.data_on_pm),
                     crash_injector=injector,
                 )
+                self._last_lane = res.lane
             finally:
                 driver.persist_phase_end()
             # Appended rows are contiguous: CAP may restrict its transfer.
@@ -265,12 +370,13 @@ class GpDb:
                 flag.begin()
             driver.persist_phase_begin()
             try:
-                system.gpu.launch(
+                res = system.gpu.launch(
                     update_kernel, self._grid(n_ops), cfg.block_dim,
                     (table, row_count, cfg.seed + 100 + b, n_ops, log, touched,
                      driver.mode.data_on_pm),
                     crash_injector=injector,
                 )
+                self._last_lane = res.lane
             finally:
                 driver.persist_phase_end()
             idx = np.unique(np.asarray(touched, dtype=np.int64)) if touched else np.array([], dtype=np.int64)
@@ -317,9 +423,10 @@ class GpDb:
         )
         flags = DeviceArray(hbm, np.uint8, 0, n_rows)
         start = system.clock.now
-        system.gpu.launch(select_kernel, self._grid(n_rows),
-                          self.config.block_dim,
-                          (table, lo, hi, flags, n_rows))
+        res = system.gpu.launch(select_kernel, self._grid(n_rows),
+                                self.config.block_dim,
+                                (table, lo, hi, flags, n_rows))
+        self._last_lane = res.lane
         matches = np.flatnonzero(flags.np[:n_rows])
         elapsed = system.clock.now - start
         system.machine.free(hbm)
@@ -343,11 +450,23 @@ class GpDb:
                 log = gpmlog_open(system, "/pm/gpdb.log")
                 driver.persist_phase_begin()
                 try:
-                    system.gpu.launch(
-                        update_recovery_kernel,
-                        self._grid(cfg.update_batch), cfg.block_dim,
-                        (table, log, cfg.update_batch),
-                    )
+                    if isinstance(log, HclLog):
+                        res = system.gpu.launch(
+                            update_recovery_kernel,
+                            self._grid(cfg.update_batch), cfg.block_dim,
+                            (table, log, cfg.update_batch),
+                        )
+                    else:
+                        # Conventional-log recovery pops from a shared
+                        # partition stack: strictly order-dependent, so it
+                        # stays on the thread-at-a-time lane.
+                        with scalar_lane():
+                            res = system.gpu.launch(
+                                update_recovery_kernel,
+                                self._grid(cfg.update_batch), cfg.block_dim,
+                                (table, log, cfg.update_batch),
+                            )
+                    self._last_lane = res.lane
                 finally:
                     driver.persist_phase_end()
                 gpmlog_clear(log)

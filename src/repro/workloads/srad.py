@@ -23,12 +23,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..gpu.warp import vectorized_for
 from .base import Category, Mode, ModeDriver, RunResult, make_system, measure
 
 _HEADER_BYTES = 128
 #: Extra offset that knocks the image/coefficient planes off XPLine
 #: alignment (the "streaming but not aligned" pattern of Section 6.1).
 _MISALIGN = 64
+_BLOCK_DIM = 128
 
 
 def srad_iteration(img: np.ndarray, lam: float = 0.5) -> tuple[np.ndarray, np.ndarray]:
@@ -61,6 +63,53 @@ def srad_iteration(img: np.ndarray, lam: float = 0.5) -> tuple[np.ndarray, np.nd
     c_e[:, -1] = c[:, -1]
     d = c * n + c_s * s + c * w + c_e * e
     return img + (lam / 4.0) * d, c.astype(np.float32)
+
+
+def srad_plane_kernel(ctx, state, base_off, vals, n_px, ops_per_px,
+                      persist_on):
+    """Store one pixel of one output plane (native per-pixel persistence).
+
+    The intensity launch charges each pixel's stencil arithmetic (~40 ops,
+    the Rodinia kernel's cost); the coefficient launch only streams.  One
+    launch per plane keeps each plane's warp drains address-sequential on
+    the media - the "streaming but not necessarily aligned" pattern of
+    Section 6.1.
+    """
+    i = ctx.global_id
+    if i >= n_px:
+        return
+    if ops_per_px:
+        ctx.charge_ops(ops_per_px)
+    ctx.store(state, base_off + i * 4, np.float32(vals[i]), np.float32)
+    if persist_on:
+        ctx.persist()
+
+
+@vectorized_for(srad_plane_kernel)
+def srad_plane_kernel_warp(wctx, state, base_off, vals, n_px, ops_per_px,
+                           persist_on):
+    g = wctx.global_ids
+    if int(g[-1]) < n_px:
+        # Full warp in range (all but the grid's tail warp): no masking,
+        # and the lane ids are one contiguous run - slice the value plane
+        # and assert the store coalesced.
+        if ops_per_px:
+            wctx.charge_ops(ops_per_px * g.size)
+        wctx.store(state, base_off + g * 4, vals[int(g[0]):int(g[-1]) + 1],
+                   np.float32, coalesced=True)
+        if persist_on:
+            wctx.persist()
+        return
+    sel = wctx.active(g < n_px)
+    if sel.size == 0:
+        return
+    gs = g[sel]
+    if ops_per_px:
+        wctx.charge_ops(ops_per_px * gs.size)
+    wctx.store(state, base_off + gs * 4, vals[gs].astype(np.float32),
+               np.float32, lanes=sel)
+    if persist_on:
+        wctx.persist(sel)
 
 
 @dataclass
@@ -113,30 +162,30 @@ class Srad:
         def diffuse():
             cur = img
             n_px = cfg.n * cfg.n
-            px_offsets = np.arange(n_px, dtype=np.int64) * 4
             done = int(buf.visible_view(np.uint32, 0, 1)[0])
             driver.persist_phase_begin()
             try:
-                return _iterate(cur, n_px, px_offsets, done)
+                return _iterate(cur, n_px, done)
             finally:
                 driver.persist_phase_end()
 
-        def _iterate(cur, n_px, px_offsets, done):
+        def _iterate(cur, n_px, done):
+            grid = (n_px + _BLOCK_DIM - 1) // _BLOCK_DIM
             for it in range(done, cfg.iterations):
                 cur, coef = srad_iteration(cur, cfg.lam)
                 # Native persistence: every pixel's new intensity and
-                # coefficient is stored + fenced from the kernel.
-                system.gpu.scatter_store_bulk(
-                    buf.kernel_region, self._img_off() + px_offsets,
-                    cur.astype(np.float32).ravel(), item_bytes=4,
-                    fence_rounds=1 if driver.mode.data_on_pm else 0,
-                    ops_per_item=40,
-                )
-                system.gpu.scatter_store_bulk(
-                    buf.kernel_region, self._coef_off() + px_offsets,
-                    coef.ravel(), item_bytes=4,
-                    fence_rounds=1 if driver.mode.data_on_pm else 0,
-                )
+                # coefficient is stored + fenced from the kernel (one
+                # launch per plane, keeping each drain stream sequential).
+                for base_off, vals, ops in (
+                    (self._img_off(), cur.astype(np.float32).ravel(), 40),
+                    (self._coef_off(), coef.ravel(), 0),
+                ):
+                    res = system.gpu.launch(
+                        srad_plane_kernel, grid, _BLOCK_DIM,
+                        (buf.kernel_region, base_off, vals, n_px, ops,
+                         driver.mode.data_on_pm),
+                    )
+                    self._last_lane = res.lane
                 if not driver.mode.in_kernel_persist:
                     buf.persist_all()
                 # Durable iteration counter: the resume point.

@@ -16,6 +16,7 @@ from repro.check.litmus import (
     SEED_CORPUS,
     run_seed_corpus,
 )
+from repro.gpu.warp import scalar_lane
 
 PINS = sorted(SEED_CORPUS.items())
 
@@ -30,6 +31,33 @@ def test_pins_cover_all_targets():
     from repro.check import CHECK_TARGETS
 
     assert set(SEED_CORPUS) == set(CHECK_TARGETS)
+
+
+def test_db_update_frontiers_match_either_lane():
+    # gpDB UPDATE runs on the warp lane in normal operation, but recording
+    # arms the FrontierRecorder as the crash injector, which forces the
+    # scalar reference interpreter - so the crash space the explorer walks
+    # must be identical whether or not the warp twins are registered.
+    n_default = len(CrashExplorer("db-update").record())
+    with scalar_lane():
+        n_scalar = len(CrashExplorer("db-update").record())
+    assert n_default == n_scalar == SEED_CORPUS["db-update"]
+
+
+def test_db_update_recovery_survives_pinned_frontiers():
+    # A slice of the db-update crash space end to end: crash, run the
+    # warp-lane undo kernel, check batch atomicity.  (The full sweep ran
+    # green across GPM/epoch/adaptive when the pin was recorded.)
+    from repro.check import explore
+    from repro.workloads.base import Mode
+
+    report = explore("db-update", Mode.GPM, max_frontiers=6)
+    assert report.frontiers_recorded == SEED_CORPUS["db-update"]
+    assert report.ok, [
+        (r.status, r.frontier.spec(), r.error,
+         [v.detail for v in r.failed_verdicts])
+        for r in report.results if r.status != "ok"
+    ]
 
 
 def test_broken_demo_bug_caught_at_pinned_frontier():

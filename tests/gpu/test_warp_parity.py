@@ -16,13 +16,23 @@ from repro.gpu.warp import resolve_warp_impl, scalar_lane
 from repro.sim import event_to_record
 from repro.sim.crash import CrashInjector
 from repro.workloads.base import Mode, make_system
+from repro.workloads.bfs import BfsConfig, GraphBfs, bfs_kernel
 from repro.workloads.binomial import BinomialConfig, BinomialOptions, pricing_kernel
+from repro.workloads.db import (
+    DbConfig,
+    GpDb,
+    insert_kernel,
+    select_kernel,
+    update_kernel,
+    update_recovery_kernel,
+)
 from repro.workloads.kvs import GpKvs, KvsConfig, set_kernel
 from repro.workloads.prefix_sum import (
     PrefixSum,
     PrefixSumConfig,
     partial_sums_kernel,
 )
+from repro.workloads.srad import Srad, SradConfig, srad_plane_kernel
 
 
 def _run_collected(factory, mode, forced_scalar):
@@ -68,6 +78,37 @@ CASES = [
     ("bino", lambda: BinomialOptions(BinomialConfig(n_options=24, steps=16,
                                                     block_dim=32)),
      [Mode.GPM, Mode.CAP_MM]),
+    # SRAD's per-plane stencil store kernel (streaming, unaligned).
+    ("srad", lambda: Srad(SradConfig(n=48, iterations=2)),
+     [Mode.GPM, Mode.CAP_MM, Mode.GPM_EPOCH, Mode.GPM_RELAXED]),
+    # BFS frontier expansion: ragged neighbour gathers, first-claim scatter
+    # races, and the chained visit-order atomics.
+    ("bfs", lambda: GraphBfs(BfsConfig(rows=16, cols=24, engine="kernel",
+                                       shortcut_fraction=0.01)),
+     [Mode.GPM, Mode.CAP_MM, Mode.GPM_EPOCH, Mode.GPM_RELAXED]),
+    # gpDB INSERT: coalesced appends + thread 0's metadata-log entry.
+    ("db-insert", lambda: GpDb("insert", DbConfig(
+        capacity_rows=2048, initial_rows=512, insert_batch=256,
+        insert_batches=2, block_dim=64)),
+     [Mode.GPM, Mode.CAP_MM, Mode.GPM_EPOCH, Mode.GPM_RELAXED]),
+    # gpDB UPDATE: scattered kernel-computed rows HCL-logged before the
+    # two-column writes.
+    ("db-update", lambda: GpDb("update", DbConfig(
+        capacity_rows=2048, initial_rows=1024, update_batch=192,
+        update_batches=2, block_dim=64)),
+     [Mode.GPM, Mode.CAP_MM, Mode.GPM_EPOCH, Mode.GPM_RELAXED]),
+    # A tiny non-power-of-two row count (lanes 24 apart hit the same row):
+    # the Fibonacci stride collides inside a warp, forcing the
+    # lane-at-a-time hazard fallback.
+    ("db-update-collide", lambda: GpDb("update", DbConfig(
+        capacity_rows=2048, initial_rows=24, update_batch=64,
+        update_batches=2, block_dim=64)),
+     [Mode.GPM]),
+    # The conventional-log ablation: per-lane serialised appends.
+    ("db-update-conv", lambda: GpDb("update", DbConfig(
+        capacity_rows=2048, initial_rows=1024, update_batch=192,
+        update_batches=1, block_dim=64, use_hcl=False)),
+     [Mode.GPM]),
 ]
 
 PARAMS = [
@@ -120,6 +161,12 @@ def test_crash_injector_forces_scalar_lane():
     assert resolve_warp_impl(partial_sums_kernel) is not None
     assert resolve_warp_impl(set_kernel) is not None
     assert resolve_warp_impl(pricing_kernel) is not None
+    assert resolve_warp_impl(bfs_kernel) is not None
+    assert resolve_warp_impl(srad_plane_kernel) is not None
+    assert resolve_warp_impl(insert_kernel) is not None
+    assert resolve_warp_impl(update_kernel) is not None
+    assert resolve_warp_impl(select_kernel) is not None
+    assert resolve_warp_impl(update_recovery_kernel) is not None
     ws = PrefixSum(PrefixSumConfig(n=1024, block_dim=256))
     system = make_system(Mode.GPM)
     injector = CrashInjector(system.machine)

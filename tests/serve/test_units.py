@@ -154,6 +154,41 @@ class TestShardAddressing:
         assert shard_set_range(0, n_sets, n_shards)[0] == 0
         assert shard_set_range(n_shards - 1, n_sets, n_shards)[1] == n_sets
 
+    def test_ranges_partition_and_agree_across_full_grid(self):
+        # Property pin over the whole legal (n_sets, n_shards) grid: the
+        # per-shard ranges tile [0, n_sets) exactly, and every set index in
+        # shard s's range maps back to s through shard_of_sets.
+        for n_sets in range(1, 33):
+            all_sets = np.arange(n_sets)
+            for n_shards in range(1, n_sets + 1):
+                shards = shard_of_sets(all_sets, n_sets, n_shards)
+                cursor = 0
+                for s in range(n_shards):
+                    first, last = shard_set_range(s, n_sets, n_shards)
+                    assert first == cursor, (n_sets, n_shards, s)
+                    assert last > first, (n_sets, n_shards, s)
+                    assert np.all(shards[first:last] == s), (n_sets, n_shards, s)
+                    cursor = last
+                assert cursor == n_sets, (n_sets, n_shards)
+
+    def test_rejects_more_shards_than_sets(self):
+        from repro.core.errors import GpmError
+
+        with pytest.raises(GpmError):
+            shard_of_sets(np.arange(4), n_sets=4, n_shards=5)
+        with pytest.raises(GpmError):
+            shard_set_range(0, n_sets=4, n_shards=5)
+        with pytest.raises(GpmError):
+            shard_set_range(0, n_sets=0, n_shards=1)
+        with pytest.raises(GpmError):
+            shard_set_range(0, n_sets=4, n_shards=0)
+        with pytest.raises(GpmError):
+            shard_set_range(4, n_sets=16, n_shards=4)  # shard id out of range
+        system = make_system(Mode.GPM)
+        with pytest.raises(GpmError):
+            ShardedHclLog.create(system, "/pm/t", n_shards=8, n_sets=4,
+                                 ways=8, blocks=1, threads_per_block=32)
+
 
 class TestShardedHclLog:
     def test_manifest_round_trip_after_reopen(self):

@@ -94,8 +94,10 @@ class TestEngineCli:
             assert leg["runs_executed"] == len(leg["runs_detail"])
             for entry in leg["runs_detail"]:
                 assert entry["wall_s"] >= 0
-        assert record["execution_lanes"] == {"PS": "warp", "KVS": "warp",
-                                             "BINO": "warp"}
+        assert record["execution_lanes"] == {
+            "PS": "warp", "KVS": "warp", "BINO": "warp",
+            "SRAD": "warp", "BFS": "warp", "DB-I": "warp", "DB-U": "warp",
+        }
 
 
 class TestServeCli:
