@@ -121,8 +121,11 @@ def _cmd_bench(args) -> int:
     print(f"artefacts          {len(record['artefacts'])} "
           f"({record['runs']} engine runs)")
     print(f"cold sequential    {record['cold_sequential_s']:.3f} s")
-    print(f"cold parallel x{record['jobs']}  {record['cold_parallel_s']:.3f} s "
-          f"({record['parallel_speedup']}x)")
+    if record["cold_parallel_s"] is None:
+        print(f"cold parallel      {record['parallel_leg']}")
+    else:
+        print(f"cold parallel x{record['jobs']}  {record['cold_parallel_s']:.3f} s "
+              f"({record['parallel_speedup']}x)")
     print(f"warm cache         {record['warm_s']:.3f} s "
           f"({100 * record['warm_over_cold']:.1f}% of cold)")
     print(f"saved {args.out}")

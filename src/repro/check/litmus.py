@@ -191,6 +191,16 @@ class LitmusTest:
       apart, so no two writes share an LLC line);
     * ``("fence",)`` - thread-scope ``__threadfence_system()``.
 
+    ``bulk``, when set, is ``(src_region, n_slots)``: after the kernel
+    retires, a ``stream_copy`` (the zero-copy bulk-transfer descriptor)
+    copies the first ``n_slots`` slots of ``src_region`` into a dedicated
+    ``/pm/litmus-bulk`` PM region with ``persist=True``, inside the persist
+    window when one is open.  The copy is cross-region logging shaped - a
+    whole-range replica of journalled state - and is judged purely by value
+    integrity: every durable destination word must be 0 or the source
+    slot's unique expected value, which is sound at every crash point under
+    every model (the copy participates in no ordering scope).
+
     Warp-uniform steps keep the warp and scalar lanes trivially equivalent
     (the parity satellite) and make the outcome set exactly computable.
     """
@@ -200,29 +210,38 @@ class LitmusTest:
     n_threads: int
     n_regions: int
     phases: tuple
+    bulk: tuple | None = None
 
     def payload(self) -> dict:
         """JSON-serializable (and picklable, and cache-keyable) form."""
-        return {
+        out = {
             "seed": self.seed, "index": self.index,
             "n_threads": self.n_threads, "n_regions": self.n_regions,
             "phases": [[list(step) for step in phase] for phase in self.phases],
         }
+        if self.bulk is not None:
+            out["bulk"] = list(self.bulk)
+        return out
 
     @classmethod
     def from_payload(cls, payload: dict) -> "LitmusTest":
+        bulk = payload.get("bulk")  # absent in pre-bulk cached payloads
         return cls(
             seed=payload["seed"], index=payload["index"],
             n_threads=payload["n_threads"], n_regions=payload["n_regions"],
             phases=tuple(tuple(tuple(step) for step in phase)
                          for phase in payload["phases"]),
+            bulk=None if bulk is None else tuple(bulk),
         )
 
     def describe(self) -> str:
         steps = sum(len(p) for p in self.phases)
+        tail = ""
+        if self.bulk is not None:
+            tail = f", bulk-copy r{self.bulk[0]}x{self.bulk[1]}"
         return (f"litmus {self.seed}:{self.index} - {self.n_regions} regions, "
                 f"{self.n_threads} threads, {len(self.phases)} phases, "
-                f"{steps} steps")
+                f"{steps} steps{tail}")
 
 
 def generate_test(seed: int, index: int) -> LitmusTest:
@@ -277,8 +296,17 @@ def generate_test(seed: int, index: int) -> LitmusTest:
         if not steps:
             write_step(rng.randrange(n_regions))
         phases.append(tuple(steps))
+    # Bulk-copy production: a post-kernel stream_copy replicates one
+    # written region's slot prefix into /pm/litmus-bulk - the zero-copy
+    # transfer descriptor under crash injection (its fence and Optane
+    # epochs add frontier events of their own).
+    bulk = None
+    if rng.random() < 0.35:
+        written = [r for r in range(n_regions) if cursors[r] > 0]
+        src = rng.choice(written)
+        bulk = (src, cursors[src])
     return LitmusTest(seed=seed, index=index, n_threads=n_threads,
-                      n_regions=n_regions, phases=tuple(phases))
+                      n_regions=n_regions, phases=tuple(phases), bulk=bulk)
 
 
 def generate_tests(seed: int, count: int) -> list[LitmusTest]:
@@ -457,17 +485,30 @@ def _build(test: LitmusTest, point: ConfigPoint):
     system = System(persistency=build_model(point))
     regions = [system.machine.alloc_pm(f"/pm/litmus{i}", REGION_BYTES)
                for i in range(test.n_regions)]
+    if test.bulk is not None:
+        # The bulk-copy destination rides at virtual index ``n_regions``
+        # everywhere regions are enumerated (images, expected words).
+        regions.append(system.machine.alloc_pm("/pm/litmus-bulk", REGION_BYTES))
     return system, regions
 
 
 def _run(system, test: LitmusTest, regions, injector, window: bool) -> None:
     kernel = build_kernels(test, regions)
+
+    def body() -> None:
+        system.gpu.launch(kernel, 1, test.n_threads, crash_injector=injector)
+        if test.bulk is not None:
+            # Post-kernel bulk replication through the transfer descriptor;
+            # frontier-armed injectors can fire on its fence/epoch events.
+            src, n_slots = test.bulk
+            system.gpu.stream_copy(regions[test.n_regions], 0, regions[src],
+                                   0, n_slots * SLOT_STRIDE, persist=True)
+
     if window:
         with persist_window(system):
-            system.gpu.launch(kernel, 1, test.n_threads,
-                              crash_injector=injector)
+            body()
     else:
-        system.gpu.launch(kernel, 1, test.n_threads, crash_injector=injector)
+        body()
 
 
 def _image_u32(buf: np.ndarray) -> np.ndarray:
@@ -485,6 +526,14 @@ def _expected_words(test: LitmusTest) -> dict[int, dict[int, int]]:
             _, r, base, vbase = step
             for t in range(test.n_threads):
                 out[r][(base + t) * words_per_slot] = vbase + t + 1
+    if test.bulk is not None:
+        # The bulk destination mirrors the source's slot prefix: a durable
+        # destination word is valid iff it is 0 or the source slot's value.
+        src, n_slots = test.bulk
+        limit = n_slots * words_per_slot
+        out[test.n_regions] = {word: value
+                               for word, value in out[src].items()
+                               if word < limit}
     return out
 
 
@@ -677,6 +726,8 @@ def execute_point(test_payload: dict, point_spec: str, mutant: str | None = None
             violate("reference", "litmus-census-epoch-boundary",
                     f"expected {expect_bounds} epoch-boundary frontiers, "
                     f"recorded {census['epoch-boundary']}")
+        for r in regions:
+            r.ensure_materialized()  # direct .visible access below
         visible = {i: _image_u32(r.visible[:r.size]).copy()
                    for i, r in enumerate(regions)}
         expected = _expected_words(test)

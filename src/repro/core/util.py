@@ -8,8 +8,6 @@ persistence window, so the destination range is durable on return.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..sim.events import KernelLaunch, SystemFence
 from ..sim.memory import MemKind, Region
 from .errors import GpmError
@@ -38,7 +36,7 @@ def gpm_memset(system, target, offset: int, size: int, value: int = 0) -> float:
     start = system.machine.clock.now
     gpm_persist_begin(system)
     try:
-        region.write_bytes(offset, np.full(size, value, dtype=np.uint8))
+        region.fill(offset, size, value)
         # The fill streams from the GPU as coalesced stores + one fence.
         pcie_t = system.machine.pcie.stream_write_time(size)
         media_t = system.machine.io_write_arrival(region, [offset], [size])

@@ -122,6 +122,7 @@ def run_bench(jobs: int = 2, smoke: bool = False,
     if unknown:
         raise KeyError(f"unknown artefacts: {', '.join(unknown)}")
 
+    eff = effective_jobs(jobs)
     prev_cache, prev_jobs = get_disk_cache(), get_default_jobs()
     try:
         with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
@@ -129,7 +130,14 @@ def run_bench(jobs: int = 2, smoke: bool = False,
             set_disk_cache(None)
             seq = _leg(names, os.path.join(tmp, "seq"), jobs=1)
             set_disk_cache(ResultCache(cache_root))
-            par = _leg(names, os.path.join(tmp, "par"), jobs=jobs)
+            # With one usable CPU a "parallel" leg just reruns the
+            # sequential baseline and reports a meaningless <1.0 speedup.
+            # The leg still runs (the warm leg needs the disk cache
+            # filled) but is reported as a cache fill, not a comparison.
+            par = _leg(names, os.path.join(tmp, "par"),
+                       jobs=1 if eff == 1 else jobs)
+            if eff == 1:
+                par["cache_fill_only"] = True
             warm = _leg(names, os.path.join(tmp, "warm"), jobs=jobs)
         lanes = execution_lanes()
     finally:
@@ -137,8 +145,8 @@ def run_bench(jobs: int = 2, smoke: bool = False,
         set_default_jobs(prev_jobs)
         clear_cache()
 
-    cold_seq, cold_par, warm_s = seq["wall_s"], par["wall_s"], warm["wall_s"]
-    eff = effective_jobs(jobs)
+    cold_seq, warm_s = seq["wall_s"], warm["wall_s"]
+    cold_par = None if eff == 1 else par["wall_s"]
     cpus = available_cpus()
     record = {
         "version": __version__,
@@ -156,6 +164,7 @@ def run_bench(jobs: int = 2, smoke: bool = False,
         "cold_sequential_s": cold_seq,
         "cold_parallel_s": cold_par,
         "warm_s": warm_s,
+        "parallel_leg": "skipped (1 cpu)" if eff == 1 else "ok",
         "parallel_speedup": round(cold_seq / cold_par, 3) if cold_par else None,
         "warm_over_cold": round(warm_s / cold_seq, 4) if cold_seq else None,
         "execution_lanes": lanes,

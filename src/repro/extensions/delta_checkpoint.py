@@ -106,18 +106,20 @@ class DeltaCheckpoint:
         gpm_persist_begin(system)
         try:
             # pass 1: dirty detection + slot selection
+            tags = self.gpm.view(np.uint32, self._tags_off, self.n_chunks * 2)
             plan = []  # (payload lo, payload hi, dst offset, tag offset)
             for chunk in range(self.n_chunks):
                 lo = chunk * self.chunk_bytes
                 if lo >= raw.size:
                     break
                 hi = min(lo + self.chunk_bytes, raw.size)
-                digest = hashlib.blake2b(raw[lo:hi].tobytes(),
-                                         digest_size=16).digest()
+                # blake2b reads the slice through the buffer protocol; no
+                # intermediate bytes object.
+                digest = hashlib.blake2b(raw[lo:hi], digest_size=16).digest()
                 if digest == self._digests[chunk]:
                     continue
                 self._digests[chunk] = digest
-                slot = 0 if self._tag(chunk, 0) <= self._tag(chunk, 1) else 1
+                slot = 0 if tags[chunk * 2] <= tags[chunk * 2 + 1] else 1
                 plan.append((lo, hi, self._slot_off(chunk, slot),
                              self._tags_off + (chunk * 2 + slot) * 4))
             dirty = len(plan)
@@ -125,7 +127,7 @@ class DeltaCheckpoint:
                 # pass 2: ONE copy kernel streams every dirty chunk
                 region = self.gpm.region
                 for lo, hi, dst, _ in plan:
-                    region.write_bytes(dst, raw[lo:hi])
+                    region.write_from(dst, raw[lo:hi])
                 starts = np.array([p[2] for p in plan], dtype=np.int64)
                 lengths = np.array([p[1] - p[0] for p in plan], dtype=np.int64)
                 nbytes = int(lengths.sum())
@@ -160,12 +162,13 @@ class DeltaCheckpoint:
         if committed == 0:
             raise CheckpointError("nothing has been checkpointed yet")
         raw_size = payload.nbytes
+        tag_view = self.gpm.view(np.uint32, self._tags_off, self.n_chunks * 2)
         for chunk in range(self.n_chunks):
             lo = chunk * self.chunk_bytes
             if lo >= raw_size:
                 break
             hi = min(lo + self.chunk_bytes, raw_size)
-            tags = [self._tag(chunk, s) for s in (0, 1)]
+            tags = [int(tag_view[chunk * 2 + s]) for s in (0, 1)]
             valid = [t for t in tags if 0 < t <= committed]
             if not valid:
                 continue  # chunk never written: stays as-is

@@ -37,6 +37,7 @@ import math
 
 import numpy as np
 
+from ..sim.bulk import BulkTransfer
 from ..sim.crash import CrashInjector
 from ..sim.events import (
     EpochBoundary,
@@ -535,6 +536,7 @@ class Gpu:
         src_off: int,
         nbytes: int,
         persist: bool = True,
+        defer_fill: bool = False,
     ) -> float:
         """Device-wide streaming copy kernel (128 B-aligned, coalesced).
 
@@ -543,13 +545,17 @@ class Gpu:
         perfectly coalesced accesses, then (optionally) issues one
         system-scope fence.  Returns elapsed seconds (also advances the
         clock).
+
+        ``defer_fill`` lowers the data movement to a pending fill on ``dst``
+        (copy elision; see :mod:`repro.sim.bulk`).  Only legal when the
+        caller owns ``dst`` as private staging that nothing reads before the
+        next pipeline stage consumes it.  Accounting is unaffected.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         cfg = self.config
         self.machine.events.emit(KernelLaunch(kind="stream_copy"))
-        data = src.read_bytes(src_off, nbytes).copy()
-        dst.write_bytes(dst_off, data)
+        BulkTransfer(dst, dst_off, src, src_off, nbytes).apply(defer=defer_fill)
         elapsed = cfg.gpu_kernel_launch_s
         if nbytes:
             if dst.kind is MemKind.HBM and src.kind is MemKind.HBM:
@@ -598,15 +604,28 @@ class Gpu:
         if n == 0:
             self.machine.clock.advance(cfg.gpu_kernel_launch_s)
             return cfg.gpu_kernel_launch_s
-        raw = np.frombuffer(np.ascontiguousarray(values).tobytes(), dtype=np.uint8)
+        flat = np.ascontiguousarray(values).reshape(-1)
+        raw = flat.view(np.uint8)
         if raw.size != n * item_bytes:
             raise ValueError(
                 f"values supply {raw.size} bytes for {n} items of {item_bytes} B"
             )
         # Functional scatter: one fancy-indexed assignment; duplicate offsets
-        # resolve last-item-wins, as the sequential store loop would.
-        idx = (offsets[:, None] + np.arange(item_bytes, dtype=np.int64)).reshape(-1)
-        region.visible[idx] = raw
+        # resolve last-item-wins, as the sequential store loop would (both
+        # paths are item-granular, so the equivalence holds under aliasing).
+        region.ensure_materialized()
+        if (
+            item_bytes == flat.dtype.itemsize
+            and item_bytes in (2, 4, 8)
+            and region.size % item_bytes == 0
+            and not (offsets & (item_bytes - 1)).any()
+        ):
+            # Aligned typed scatter: one element store per item instead of
+            # item_bytes byte stores.
+            region.visible.view(flat.dtype)[offsets >> item_bytes.bit_length() - 1] = flat
+        else:
+            idx = (offsets[:, None] + np.arange(item_bytes, dtype=np.int64)).reshape(-1)
+            region.visible[idx] = raw
         lengths = np.full(n, item_bytes, dtype=np.int64)
         nbytes_total = n * item_bytes
         if region.kind is MemKind.HBM:

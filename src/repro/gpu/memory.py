@@ -72,7 +72,10 @@ class DeviceArray:
         if indices.size and (int(indices.min()) < 0
                              or int(indices.max()) >= self.count):
             raise IndexError(f"warp indices out of range [0, {self.count})")
-        return self.offset + indices * self.dtype.itemsize
+        # One fresh array (drain buffers may retain it), built in place.
+        out = indices * self.dtype.itemsize
+        out += self.offset
+        return out
 
     def read_uniform_warp(self, wctx, index: int, lanes=None):
         """All participating lanes load the same element (broadcast read)."""
@@ -100,7 +103,9 @@ class DeviceArray:
         if indices.size and (int(indices.min()) < 0
                              or int((indices + counts).max()) > self.count):
             raise IndexError(f"warp segments out of range [0, {self.count})")
-        return self.offset + indices * self.dtype.itemsize, counts
+        out = indices * self.dtype.itemsize
+        out += self.offset
+        return out, counts
 
     def read_gather_warp(self, wctx, indices, counts, lanes=None) -> np.ndarray:
         """Ragged per-lane loads: lane ``j`` reads ``counts[j]`` elements

@@ -33,6 +33,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from ..sim import bulk
 from ..sim.memory import MemKind, Region
 from .hierarchy import Dim3
 from .kernel import _IMPLICIT_ROUND, _WarpDrainBuffer
@@ -259,10 +260,14 @@ class WarpContext:
         gathers and scatter conflict resolution see the scalar sequence.
         """
         total = int(nbytes.sum())
-        ends = np.cumsum(nbytes)
-        base = np.repeat(offsets, nbytes)
-        within = np.arange(total, dtype=np.int64) - np.repeat(ends - nbytes, nbytes)
-        return base + within
+        # Segment-start shift per byte, then the shared 0..total-1 ramp:
+        # idx = repeat(offsets - (ends - nbytes), nbytes) + iota(total).
+        before = np.cumsum(nbytes)
+        before -= nbytes
+        np.subtract(offsets, before, out=before)
+        idx = np.repeat(before, nbytes)
+        idx += bulk.iota64(total)
+        return idx
 
     def load_gather(self, region: Region, offsets, counts, dtype=np.uint8,
                     lanes=None):

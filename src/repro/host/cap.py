@@ -19,6 +19,7 @@ from __future__ import annotations
 import enum
 import itertools
 
+from ..sim import bulk
 from ..sim.memory import MemKind, Region
 from .filesystem import PmFile
 
@@ -80,8 +81,14 @@ class CapEngine:
         machine = self.system.machine
         start = machine.clock.now
         bounce = self._bounce_buffer(nbytes)
-        self.system.dma.device_to_host(src, src_off, bounce, 0, nbytes, pinned=True)
-        data = bounce.read_bytes(0, nbytes)
+        # The bounce buffer is engine-private: nothing reads it between this
+        # DMA and the host-side copy below, so the staging fill is deferred
+        # (copy elision) and the host step reads straight through it back to
+        # the GPU source view.  Accounting is unchanged on both steps.
+        self.system.dma.device_to_host(
+            src, src_off, bounce, 0, nbytes, pinned=True, defer_fill=True
+        )
+        data = bulk.resolve_read(bounce, 0, nbytes)
 
         if self.mode is CapMode.FS:
             f = self._as_file(dst)
@@ -98,10 +105,13 @@ class CapEngine:
                     self.threads or self.system.config.cpu_max_threads
                 )
             )
-            region.write_bytes(dst_off, data.copy())
+            region.write_from(dst_off, data)
             machine.cpu_store_arrival(region, dst_off, nbytes)
             machine.clock.advance(elapsed_copy)
             machine.background_persist(region, dst_off, nbytes)
+        # The staged bytes are consumed; drop the deferred fill so the next
+        # pipeline run never materialises it.
+        bounce.consume_pending_fills()
         return machine.clock.now - start
 
     @staticmethod

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..sim.bulk import BulkTransfer
 from ..sim.events import CpuDrain, CpuPmWrite
 from ..sim.machine import Machine
 from ..sim.memory import MemKind, Region
@@ -52,8 +53,7 @@ class Cpu:
                nbytes: int, threads: int | None = 1) -> float:
         """Volatile memcpy between host regions; returns elapsed seconds."""
         threads = self._clamp_threads(threads)
-        data = src.read_bytes(src_off, nbytes)
-        dst.write_bytes(dst_off, data.copy())
+        BulkTransfer(dst, dst_off, src, src_off, nbytes).apply()
         self.machine.cpu_store_arrival(dst, dst_off, nbytes)
         elapsed = nbytes / (self.config.cpu_memcpy_bw_single
                             * self.config.cpu_persist_speedup(threads))
@@ -70,7 +70,7 @@ class Cpu:
         SFENCE.  Returns elapsed seconds (also advances the clock).
         """
         data = np.asarray(data, dtype=np.uint8).ravel()
-        region.write_bytes(offset, data)
+        region.write_from(offset, data)
         return self.persist_range(region, offset, data.size, threads=threads, random=random)
 
     def persist_range(self, region: Region, offset: int, size: int,

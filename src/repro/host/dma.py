@@ -12,6 +12,7 @@ CAP still needs the CPU to flush afterwards.
 
 from __future__ import annotations
 
+from ..sim.bulk import BulkTransfer
 from ..sim.events import DramWrite, HbmWrite
 from ..sim.machine import Machine
 from ..sim.memory import MemKind, Region
@@ -25,20 +26,25 @@ class DmaEngine:
         self.config = machine.config
 
     def device_to_host(self, src: Region, src_off: int, dst: Region, dst_off: int,
-                       nbytes: int, pinned: bool = True) -> float:
+                       nbytes: int, pinned: bool = True,
+                       defer_fill: bool = False) -> float:
         """DMA ``nbytes`` from GPU memory to host memory.
 
         ``pinned=False`` models a pageable/mapped destination: the transfer
         stages through a pinned DRAM bounce buffer, adding a host-side copy.
-        Returns elapsed seconds (also advances the clock).
+        ``defer_fill`` elides the functional copy into ``dst`` (legal only
+        for caller-private DRAM staging; see ``repro.sim.bulk``).  Returns
+        elapsed seconds (also advances the clock).
         """
         if src.kind is not MemKind.HBM:
             raise ValueError("device_to_host source must be HBM")
         if dst.kind is MemKind.HBM:
             raise ValueError("device_to_host destination must be host memory")
-        # src and dst are distinct memories (HBM vs host), so write_bytes'
-        # own copy into dst suffices - no staging copy needed.
-        dst.write_bytes(dst_off, src.read_bytes(src_off, nbytes))
+        # src and dst are distinct memories (HBM vs host): one copy (or a
+        # deferred fill the next pipeline stage reads through).
+        BulkTransfer(dst, dst_off, src, src_off, nbytes).apply(
+            defer=defer_fill and dst.kind is MemKind.DRAM
+        )
         elapsed = self.machine.pcie.dma_time(nbytes, to_gpu=False)
         if dst.kind is MemKind.PM:
             # I/O writes to PM land in the LLC via DDIO: visible, volatile.
@@ -57,7 +63,7 @@ class DmaEngine:
             raise ValueError("host_to_device destination must be HBM")
         if src.kind is MemKind.HBM:
             raise ValueError("host_to_device source must be host memory")
-        dst.write_bytes(dst_off, src.read_bytes(src_off, nbytes))
+        BulkTransfer(dst, dst_off, src, src_off, nbytes).apply()
         elapsed = self.machine.pcie.dma_time(nbytes, to_gpu=True)
         self.machine.events.emit(HbmWrite(nbytes=nbytes))
         if src.kind is MemKind.PM:

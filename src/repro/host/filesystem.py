@@ -105,7 +105,7 @@ class DaxFilesystem:
         """
         data = np.asarray(data, dtype=np.uint8).ravel()
         self.machine.events.emit(Syscall(op="write"))
-        f.region.write_bytes(offset, data)
+        f.region.write_from(offset, data)
         self.machine.cpu_store_arrival(f.region, offset, data.size)
         f._mark_dirty(offset, data.size)
         elapsed = self.config.syscall_s + data.size / self.config.cpu_memcpy_bw_single

@@ -24,6 +24,7 @@ carrying its queueing + execution latency on the simulated clock.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -55,6 +56,10 @@ class Batcher:
                 f"log geometry ({store.config.max_batch})")
         self.pending: list[Request] = []
         self.flushes = 0
+        #: host wall-clock seconds each flush took (compaction, staging,
+        #: launches, completion events) - diagnostics only, never part of
+        #: the deterministic summary
+        self.flush_wall: list[float] = []
 
     # -- trigger ------------------------------------------------------------
 
@@ -112,6 +117,7 @@ class Batcher:
         """
         if not self.pending:
             return 0
+        wall0 = time.perf_counter()
         take = self.config.target_batch
         batch, self.pending = self.pending[:take], self.pending[take:]
         self.admission.drained(len(batch))
@@ -145,4 +151,5 @@ class Batcher:
             events.emit(ServiceComplete(tenant=req.tenant, op=req.op,
                                         latency=done - req.arrival,
                                         coalesced=True))
+        self.flush_wall.append(time.perf_counter() - wall0)
         return len(batch)

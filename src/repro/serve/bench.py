@@ -43,6 +43,9 @@ def run_service_bench(smoke: bool = False, seed: int = 42,
         "cpu_count": available_cpus(),
         "config": result["config"],
         "summary": result["summary"],
+        # Host wall-clock flush digest: diagnostics alongside the
+        # deterministic summary, never compared byte-for-byte.
+        "flush_wall": result["flush_wall"],
     }
     with open(out, "w") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)

@@ -24,6 +24,7 @@ recovery kernel undoes it from that shard's log; idle shards just truncate.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 import numpy as np
@@ -90,6 +91,11 @@ class ShardedKvStore:
         self.mirror_values = mirror_values
         self.shards = shards
         self._batch_seq = 0
+        #: Persistent staging arena for batch arguments: one HBM region,
+        #: lazily grown, sliced per shard each flush.  Replaces the
+        #: alloc/free pair every shard group used to pay per flush.
+        self._stage = None
+        self._stage_ids = itertools.count()
 
     # -- construction --------------------------------------------------------
 
@@ -131,6 +137,24 @@ class ShardedKvStore:
 
     def _grid(self, n_ops: int) -> int:
         return -(-n_ops // self.config.block_dim)
+
+    def _stage_buffer(self, nbytes: int):
+        """The flush's staging arena in HBM, grown on demand.
+
+        Every flush fully overwrites the slices it uses (and the GET
+        kernel writes every output slot), so the arena is reused across
+        flushes without clearing.
+        """
+        if self._stage is None or self._stage.size < nbytes:
+            machine = self.system.machine
+            if self._stage is not None:
+                machine.free(self._stage)
+            name = f"serve.stage-{next(self._stage_ids)}"
+            while name in machine._regions:
+                name = f"serve.stage-{next(self._stage_ids)}"
+            self._stage = machine.alloc_hbm(
+                name, max(nbytes, self.config.max_batch * 16))
+        return self._stage
 
     # -- batched execution ---------------------------------------------------
 
@@ -181,22 +205,27 @@ class ShardedKvStore:
         if n > cfg.max_batch:
             raise ValueError(f"batch of {n} exceeds the log geometry "
                              f"({cfg.max_batch})")
-        system = self.system
         self._batch_seq += 1
         groups = self._shard_groups(batch_keys)
         shard_ids = [s for s, _ in groups]
-        allocs = []
+        # Pipelined flush: every shard's slice is compacted and staged into
+        # the arena *before* the first launch, so shard k's critical path
+        # is accounted while shard k+1's arguments already sit in HBM.
+        stage = self._stage_buffer(n * 16)
+        staged = {}
+        off = 0
+        for shard, idx in groups:
+            sk = DeviceArray(stage, np.uint64, off, idx.size)
+            sv = DeviceArray(stage, np.uint64, off + idx.size * 8, idx.size)
+            sk.np[:] = batch_keys[idx]
+            sv.np[:] = batch_values[idx]
+            staged[shard] = (sk, sv)
+            off += idx.size * 16
         self.shards.begin(shard_ids)
         self.driver.persist_phase_begin()
         try:
             def make_args(shard, idx, touched):
-                sub = system.machine.alloc_hbm(
-                    f"serve.set{self._batch_seq}.s{shard}", idx.size * 16)
-                allocs.append(sub)
-                sk = DeviceArray(sub, np.uint64, 0, idx.size)
-                sv = DeviceArray(sub, np.uint64, idx.size * 8, idx.size)
-                sk.np[:] = batch_keys[idx]
-                sv.np[:] = batch_values[idx]
+                sk, sv = staged[shard]
                 return (self.keys, self.values, self.mirror_keys,
                         self.mirror_values, sk, sv, idx.size, cfg.n_sets,
                         cfg.ways, self.shards.log(shard), touched)
@@ -207,8 +236,6 @@ class ShardedKvStore:
             self.driver.persist_phase_end()
         self._persist_touched(touched)
         self.shards.commit(shard_ids)
-        for sub in allocs:
-            system.machine.free(sub)
         return {"threads": threads, "shards": len(groups), "lane": lane}
 
     def delete_batch(self, batch_keys: np.ndarray, crash_injector=None) -> dict:
@@ -221,23 +248,24 @@ class ShardedKvStore:
         if n > cfg.max_batch:
             raise ValueError(f"batch of {n} exceeds the log geometry "
                              f"({cfg.max_batch})")
-        system = self.system
         self._batch_seq += 1
         groups = self._shard_groups(batch_keys)
         shard_ids = [s for s, _ in groups]
-        allocs = []
+        stage = self._stage_buffer(n * 8)
+        staged = {}
+        off = 0
+        for shard, idx in groups:
+            sk = DeviceArray(stage, np.uint64, off, idx.size)
+            sk.np[:] = batch_keys[idx]
+            staged[shard] = sk
+            off += idx.size * 8
         self.shards.begin(shard_ids)
         self.driver.persist_phase_begin()
         try:
             def make_args(shard, idx, touched):
-                sub = system.machine.alloc_hbm(
-                    f"serve.del{self._batch_seq}.s{shard}", idx.size * 8)
-                allocs.append(sub)
-                sk = DeviceArray(sub, np.uint64, 0, idx.size)
-                sk.np[:] = batch_keys[idx]
                 return (self.keys, self.values, self.mirror_keys,
-                        self.mirror_values, sk, idx.size, cfg.n_sets,
-                        cfg.ways, self.shards.log(shard), touched)
+                        self.mirror_values, staged[shard], idx.size,
+                        cfg.n_sets, cfg.ways, self.shards.log(shard), touched)
 
             threads, touched, lane = self._launch_groups(
                 delete_kernel, groups, make_args, crash_injector)
@@ -245,8 +273,6 @@ class ShardedKvStore:
             self.driver.persist_phase_end()
         self._persist_touched(touched)
         self.shards.commit(shard_ids)
-        for sub in allocs:
-            system.machine.free(sub)
         return {"threads": threads, "shards": len(groups), "lane": lane}
 
     def get_batch(self, batch_keys: np.ndarray) -> tuple[np.ndarray, dict]:
@@ -259,9 +285,9 @@ class ShardedKvStore:
                                                   "lane": "none"}
         system = self.system
         self._batch_seq += 1
-        hbm = system.machine.alloc_hbm(f"serve.get{self._batch_seq}", n * 16)
-        bk = DeviceArray(hbm, np.uint64, 0, n)
-        out = DeviceArray(hbm, np.uint64, n * 8, n)
+        stage = self._stage_buffer(n * 16)
+        bk = DeviceArray(stage, np.uint64, 0, n)
+        out = DeviceArray(stage, np.uint64, n * 8, n)
         bk.np[:] = batch_keys
         grid = self._grid(n)
         result = system.gpu.launch(
@@ -270,7 +296,6 @@ class ShardedKvStore:
              cfg.ways),
         )
         values = out.np.copy()
-        system.machine.free(hbm)
         return values, {"threads": grid * cfg.block_dim, "shards": 1,
                         "lane": result.lane}
 

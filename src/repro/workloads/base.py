@@ -267,6 +267,16 @@ class PersistentBuffer:
 
     # -- persistence ------------------------------------------------------------
 
+    @property
+    def wants_segments(self) -> bool:
+        """Whether :meth:`persist_segments` actually uses the segment lists.
+
+        Only GPM-NDP flushes the named segments; the in-kernel modes ignore
+        them and CAP/GPUfs persist the whole buffer regardless.  Callers
+        with expensive segment-list construction can skip it when False.
+        """
+        return self.driver.mode is Mode.GPM_NDP
+
     def persist_segments(self, starts, lengths) -> float:
         """Make the given byte segments durable, the mode's way.
 

@@ -30,11 +30,13 @@ Two execution engines share this logic:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from ..gpu.memory import DeviceArray
 from ..gpu.warp import vectorized_for
+from ..sim import bulk
 from .base import Category, Mode, ModeDriver, RunResult, make_system, measure
 
 INF = np.uint32(0xFFFFFFFF)
@@ -47,8 +49,16 @@ def make_road_graph(rows: int, cols: int, seed: int = 17,
 
     Grid connectivity (low degree, huge diameter - the signature of road
     networks) plus a sprinkle of random shortcuts.  Returns (row_ptr,
-    col_idx) with symmetric edges.
+    col_idx) with symmetric edges.  Construction is deterministic per
+    argument tuple, so repeated builds (every bench leg re-runs BFS twice)
+    come from a small cache; the returned arrays are read-only.
     """
+    return _road_graph_cached(rows, cols, seed, shortcut_fraction)
+
+
+@lru_cache(maxsize=8)
+def _road_graph_cached(rows: int, cols: int, seed: int,
+                       shortcut_fraction: float) -> tuple[np.ndarray, np.ndarray]:
     n = rows * cols
     rng = np.random.default_rng(seed)
     edges = []
@@ -72,7 +82,10 @@ def make_road_graph(rows: int, cols: int, seed: int = 17,
     row_ptr = np.zeros(n + 1, dtype=np.int64)
     np.add.at(row_ptr, e[:, 0] + 1, 1)
     row_ptr = np.cumsum(row_ptr)
-    return row_ptr, e[:, 1].astype(np.int32)
+    col_idx = e[:, 1].astype(np.int32)
+    row_ptr.setflags(write=False)
+    col_idx.setflags(write=False)
+    return row_ptr, col_idx
 
 
 def reference_bfs(row_ptr: np.ndarray, col_idx: np.ndarray, source: int) -> np.ndarray:
@@ -312,13 +325,15 @@ class GraphBfs:
             # The frontier is every node at the last durable level.
             frontier_np = np.flatnonzero(cost_view == level - 1).astype(np.uint32)
 
+        mask = np.zeros(n, dtype=bool)
         while frontier_np.size and level < cfg.max_levels:
             if cfg.engine == "kernel":
                 new = self._level_kernel(driver, buf, row_ptr, col_idx,
                                          frontier_np, level, visited, injector)
             else:
                 new = self._level_bulk(driver, buf, row_ptr_np, col_idx_np,
-                                       cost_view, frontier_np, level, visited)
+                                       cost_view, frontier_np, level, visited,
+                                       mask)
             self._persist_level(driver, buf, new, level, visited)
             visited += new.size
             self._commit_level(driver, buf, level + 1, visited)
@@ -327,32 +342,44 @@ class GraphBfs:
         return level
 
     def _level_bulk(self, driver, buf, row_ptr_np, col_idx_np, cost_view,
-                    frontier_np, level, visited) -> np.ndarray:
+                    frontier_np, level, visited, mask) -> np.ndarray:
         system = driver.system
         starts = row_ptr_np[frontier_np]
         ends = row_ptr_np[frontier_np + 1]
         counts = ends - starts
         total = int(counts.sum())
         if total:
-            # Vectorized ragged CSR gather (flat indices, segment-major).
-            idx = (np.repeat(starts, counts)
-                   + np.arange(total, dtype=np.int64)
-                   - np.repeat(np.cumsum(counts) - counts, counts))
+            # Vectorized ragged CSR gather (flat indices, segment-major):
+            # per-byte segment shift + the shared 0..total-1 ramp.
+            before = np.cumsum(counts)
+            before -= counts
+            np.subtract(starts, before, out=before)
+            idx = np.repeat(before, counts)
+            idx += bulk.iota64(total)
             gather = col_idx_np[idx]
         else:
             gather = np.array([], dtype=np.int32)
         # Filter before dedup: most neighbours are already visited by
-        # mid-search, so unique() runs over the short unvisited tail.
+        # mid-search, so dedup runs over the short unvisited tail.  The
+        # scatter-into-mask produces the same sorted unique set np.unique
+        # would, without the sort; only the touched bits are reset.
         cand = gather[cost_view[gather] == INF]
-        new = np.unique(cand).astype(np.uint32)
+        mask[cand] = True
+        new_idx = np.flatnonzero(mask)
+        mask[new_idx] = False
+        new = new_idx.astype(np.uint32)
         # One relaxation kernel per level writes both the new costs
         # (scattered) and the visit sequence (contiguous, coalesced).
-        cost_view[new] = level
-        offsets = np.concatenate([
-            self._cost_off() + 4 * new.astype(np.int64),
-            self._seq_off() + 4 * (visited + np.arange(new.size, dtype=np.int64)),
-        ])
-        values = np.concatenate([np.full(new.size, level, dtype=np.uint32), new])
+        cost_view[new_idx] = level
+        k = new.size
+        offsets = np.empty(2 * k, dtype=np.int64)
+        np.multiply(new_idx, 4, out=offsets[:k])
+        offsets[:k] += self._cost_off()
+        np.multiply(bulk.iota64(k), 4, out=offsets[k:])
+        offsets[k:] += self._seq_off() + 4 * visited
+        values = np.empty(2 * k, dtype=np.uint32)
+        values[:k] = level
+        values[k:] = new
         system.gpu.scatter_store_bulk(
             buf.kernel_region, offsets, values, item_bytes=4,
             fence_rounds=1 if driver.mode.data_on_pm else 0,
@@ -391,6 +418,11 @@ class GraphBfs:
     def _persist_level(self, driver, buf, new, level, visited) -> None:
         """Mode-appropriate persistence of this level's cost/seq updates."""
         if driver.mode.in_kernel_persist or new.size == 0:
+            return
+        if not buf.wants_segments:
+            # CAP/GPUfs persist the whole buffer regardless of the segment
+            # list (their write amplification) - skip building it.
+            buf.persist_all()
             return
         starts = np.concatenate([
             self._cost_off() + 4 * new.astype(np.int64),

@@ -29,8 +29,13 @@ def black_scholes(spot, strike, t, rate, vol):
     d1 = (np.log(spot / strike) + (rate + 0.5 * vol * vol) * t) / (vol * sqrt_t)
     d2 = d1 - vol * sqrt_t
     discount = np.exp(-rate * t)
-    call = spot * _norm_cdf(d1) - strike * discount * _norm_cdf(d2)
-    put = strike * discount * _norm_cdf(-d2) - spot * _norm_cdf(-d1)
+    # N(-x) = 1 - N(x): two erf evaluations price both legs, and put-call
+    # parity (call - put = spot - strike*discount) holds exactly.
+    n_d1 = _norm_cdf(d1)
+    n_d2 = _norm_cdf(d2)
+    disc_k = strike * discount
+    call = spot * n_d1 - disc_k * n_d2
+    put = disc_k * (1.0 - n_d2) - spot * (1.0 - n_d1)
     return call, put
 
 

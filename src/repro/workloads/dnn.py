@@ -56,7 +56,7 @@ class DnnTraining(CheckpointedWorkload):
 
     def _sync_weights_to_device(self) -> None:
         """Mirror the numpy parameters into the simulated HBM region."""
-        self._weights.np[:] = self.net.params.pack()
+        self.net.params.pack(out=self._weights.np)
 
     #: Effective concurrent lanes of the small-batch cuDNN LeNet kernels.
     #: LeNet on MNIST leaves most of a Titan RTX idle; 256 lanes calibrates

@@ -19,20 +19,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
+def _im2col(x: np.ndarray, k: int) -> np.ndarray:
+    """im2col: x (N,C,H,W) -> (N, C*K*K, OH*OW), rows ordered (c, ki, kj)."""
+    n, c = x.shape[:2]
+    oh, ow = x.shape[2] - k + 1, x.shape[3] - k + 1
+    # windows[n, c, i, j, ki, kj] == x[n, c, i+ki, j+kj]; the transpose +
+    # reshape materialises the (c, ki, kj)-major layout in one copy.
+    win = np.lib.stride_tricks.sliding_window_view(x, (k, k), axis=(2, 3))
+    return win.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * k * k, oh * ow)
+
+
 def _conv2d(x: np.ndarray, w: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Valid 2-D convolution: x (N,C,H,W), w (F,C,K,K) -> (N,F,H-K+1,W-K+1)."""
-    n, c, h, wid = x.shape
+    n = x.shape[0]
     f, _, k, _ = w.shape
-    oh, ow = h - k + 1, wid - k + 1
-    # im2col
-    cols = np.empty((n, c * k * k, oh * ow), dtype=x.dtype)
-    idx = 0
-    for ci in range(c):
-        for ki in range(k):
-            for kj in range(k):
-                cols[:, idx, :] = x[:, ci, ki : ki + oh, kj : kj + ow].reshape(n, -1)
-                idx += 1
-    out = w.reshape(f, -1) @ cols
+    oh, ow = x.shape[2] - k + 1, x.shape[3] - k + 1
+    out = w.reshape(f, -1) @ _im2col(x, k)
     return out.reshape(n, f, oh, ow) + b.reshape(1, f, 1, 1)
 
 
@@ -41,17 +43,12 @@ def _conv2d_grads(x, w, dout):
     n, c, h, wid = x.shape
     f, _, k, _ = w.shape
     oh, ow = dout.shape[2], dout.shape[3]
-    cols = np.empty((n, c * k * k, oh * ow), dtype=x.dtype)
-    idx = 0
-    for ci in range(c):
-        for ki in range(k):
-            for kj in range(k):
-                cols[:, idx, :] = x[:, ci, ki : ki + oh, kj : kj + ow].reshape(n, -1)
-                idx += 1
+    cols = _im2col(x, k)
     dflat = dout.reshape(n, f, -1)
-    dw = np.einsum("nfp,ncp->fc", dflat, cols).reshape(w.shape)
+    dw = np.tensordot(dflat, cols, axes=([0, 2], [0, 2])).reshape(w.shape)
     db = dout.sum(axis=(0, 2, 3))
-    dcols = np.einsum("fc,nfp->ncp", w.reshape(f, -1), dflat)
+    # dcols[n] = w_flat.T @ dflat[n], batched over n.
+    dcols = np.matmul(w.reshape(f, -1).T, dflat)
     dx = np.zeros_like(x)
     idx = 0
     for ci in range(c):
@@ -63,12 +60,21 @@ def _conv2d_grads(x, w, dout):
 
 
 def _avgpool2(x: np.ndarray) -> np.ndarray:
-    n, c, h, w = x.shape
-    return x.reshape(n, c, h // 2, 2, w // 2, 2).mean(axis=(3, 5))
+    return (
+        x[:, :, 0::2, 0::2] + x[:, :, 0::2, 1::2]
+        + x[:, :, 1::2, 0::2] + x[:, :, 1::2, 1::2]
+    ) * np.float32(0.25)
 
 
 def _avgpool2_grad(dout: np.ndarray) -> np.ndarray:
-    return np.repeat(np.repeat(dout, 2, axis=2), 2, axis=3) / 4.0
+    n, c, h, w = dout.shape
+    dx = np.empty((n, c, 2 * h, 2 * w), dtype=dout.dtype)
+    q = dout * np.float32(0.25)
+    dx[:, :, 0::2, 0::2] = q
+    dx[:, :, 0::2, 1::2] = q
+    dx[:, :, 1::2, 0::2] = q
+    dx[:, :, 1::2, 1::2] = q
+    return dx
 
 
 def _relu(x):
@@ -112,8 +118,16 @@ class LeNetParams:
     def total_bytes(self) -> int:
         return sum(t.nbytes for t in self.tensors())
 
-    def pack(self) -> np.ndarray:
-        return np.concatenate([t.ravel() for t in self.tensors()]).astype(np.float32)
+    def pack(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Flatten all tensors into one float32 vector (into ``out`` if given)."""
+        tensors = self.tensors()
+        if out is None:
+            out = np.empty(sum(t.size for t in tensors), dtype=np.float32)
+        pos = 0
+        for t in tensors:
+            out[pos : pos + t.size] = t.reshape(-1)
+            pos += t.size
+        return out
 
     def unpack(self, flat: np.ndarray) -> None:
         pos = 0
@@ -207,7 +221,7 @@ class LeNet:
             (p.fc1_w, dfc1_w), (p.fc1_b, dfc1_b),
             (p.fc2_w, dfc2_w), (p.fc2_b, dfc2_b),
         ]:
-            t -= lr * g.astype(np.float32)
+            t -= (lr * g).astype(np.float32, copy=False)
         return loss
 
     def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:

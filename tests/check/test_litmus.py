@@ -90,6 +90,33 @@ class TestGenerator:
         assert LitmusTest.from_payload(
             json.loads(json.dumps(test.payload()))) == test
 
+    def test_bulk_copy_production(self):
+        # The grammar emits the bulk-copy production often enough to
+        # exercise the transfer descriptor, sourcing only written regions.
+        tests = generate_tests(0, 40)
+        with_bulk = [t for t in tests if t.bulk is not None]
+        assert with_bulk, "bulk-copy production never fired in 40 tests"
+        assert len(with_bulk) < len(tests), "plain tests must survive too"
+        for test in with_bulk:
+            src, n_slots = test.bulk
+            assert 0 <= src < test.n_regions
+            assert n_slots > 0
+            assert f"bulk-copy r{src}x{n_slots}" in test.describe()
+
+    def test_bulk_payload_round_trip_and_pre_bulk_compat(self):
+        test = next(t for t in generate_tests(0, 40) if t.bulk is not None)
+        assert LitmusTest.from_payload(test.payload()) == test
+        # Cached payloads from before the bulk production lack the key.
+        legacy = generate_test(9, 2).payload()
+        assert "bulk" not in legacy
+        assert LitmusTest.from_payload(legacy).bulk is None
+
+    def test_bulk_copy_passes_a_config_point(self):
+        test = next(t for t in generate_tests(0, 40) if t.bulk is not None)
+        point = config_matrix()[0]
+        verdict = execute_point(test.payload(), point.spec())
+        assert verdict["ok"], verdict["violations"][:2]
+
 
 # ---------------------------------------------------------------------------
 # the config matrix
